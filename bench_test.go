@@ -1,0 +1,478 @@
+// Benchmarks, one per paper table/figure plus host-kernel micro-benches
+// and the ablations DESIGN.md calls out.
+//
+// Two kinds of numbers come out of this file:
+//
+//   - Benchmark(Table|Figure)... run the experiment harness that
+//     regenerates the paper's evaluation artifacts (modeled 2007 hardware;
+//     see EXPERIMENTS.md for the resulting tables). Their wall-clock times
+//     measure the harness itself, and each reports the headline metric of
+//     its artifact (median Gflop/s etc.) as a custom benchmark metric.
+//
+//   - BenchmarkKernel..., BenchmarkAblation... measure the real Go kernels
+//     on the host machine: actual SpMV throughput of the library a user
+//     adopts (ns/op, plus effective host Gflop/s).
+package spmv_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	spmv "repro"
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/partition"
+	"repro/internal/tune"
+)
+
+// benchScale keeps the modeled experiments fast while preserving shapes.
+const benchScale = 0.02
+
+func runner() *bench.Runner { return bench.NewRunner(benchScale, 7) }
+
+// reportMedian extracts a table's "Median" row value for a column and
+// reports it as a benchmark metric.
+func reportMedian(b *testing.B, t *bench.Table, col, metric string) {
+	b.Helper()
+	if s, ok := t.Lookup("Median", col); ok {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+func BenchmarkTable1_MachineModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1()
+		if len(t.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable3_Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner()
+		if _, err := r.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4_DenseSustained(b *testing.B) {
+	r := runner()
+	var t *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = r.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := t.Lookup("Cell Blade", "GB/s system"); ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			b.ReportMetric(f, "cell-blade-GB/s")
+		}
+	}
+}
+
+func benchFigure1(b *testing.B, m *machine.Machine, col string) {
+	b.Helper()
+	r := runner()
+	var t *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = r.Figure1(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportMedian(b, t, col, "median-Gflops")
+}
+
+func BenchmarkFigure1_AMDX2(b *testing.B) {
+	benchFigure1(b, machine.AMDX2(), "2 sockets x 2 cores [*]")
+}
+
+func BenchmarkFigure1_Clovertown(b *testing.B) {
+	benchFigure1(b, machine.Clovertown(), "2 sockets x 4 cores [*]")
+}
+
+func BenchmarkFigure1_Niagara(b *testing.B) {
+	benchFigure1(b, machine.Niagara(), "8c x 4t [*]")
+}
+
+func BenchmarkFigure1_CellPS3(b *testing.B) {
+	benchFigure1(b, machine.CellPS3(), "6 SPEs")
+}
+
+func BenchmarkFigure1_CellBlade(b *testing.B) {
+	benchFigure1(b, machine.CellBlade(), "16 SPEs")
+}
+
+func BenchmarkFigure2a_MedianComparison(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2b_PowerEfficiency(b *testing.B) {
+	r := runner()
+	var t *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		if t, err = r.Figure2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s, ok := t.Lookup("Cell Blade", "Mflop/s per Watt"); ok {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			b.ReportMetric(v, "cell-Mflops/W")
+		}
+	}
+}
+
+func BenchmarkSpeedupClaims(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Speedups(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Host kernel micro-benchmarks: the real Go kernels. ---
+
+// hostKernel builds a kernel for a suite matrix and returns it with its
+// vectors and flop count.
+func hostKernel(b *testing.B, name string, mk func(*matrix.CSR32) (matrix.Format, error)) (kernel.Kernel, []float64, []float64, int64) {
+	b.Helper()
+	coo, err := gen.GenerateByName(name, 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := mk(csr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := kernel.Compile(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, csr.C)
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+	y := make([]float64, csr.R)
+	return k, y, x, 2 * csr.NNZ()
+}
+
+func benchMulAdd(b *testing.B, k kernel.Kernel, y, x []float64, flops int64) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.MulAdd(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secPerOp := b.Elapsed().Seconds() / float64(b.N)
+	if secPerOp > 0 {
+		b.ReportMetric(float64(flops)/secPerOp/1e9, "host-Gflops")
+	}
+}
+
+func BenchmarkKernelCSR_FEMCantilever(b *testing.B) {
+	k, y, x, fl := hostKernel(b, "FEM/Cantilever", func(c *matrix.CSR32) (matrix.Format, error) { return c, nil })
+	benchMulAdd(b, k, y, x, fl)
+}
+
+func BenchmarkKernelBCSR4x4_FEMCantilever(b *testing.B) {
+	k, y, x, fl := hostKernel(b, "FEM/Cantilever", func(c *matrix.CSR32) (matrix.Format, error) {
+		return matrix.NewBCSR[uint16](c, matrix.BlockShape{R: 4, C: 4})
+	})
+	benchMulAdd(b, k, y, x, fl)
+}
+
+func BenchmarkKernelTuned_FEMCantilever(b *testing.B) {
+	k, y, x, fl := hostKernel(b, "FEM/Cantilever", func(c *matrix.CSR32) (matrix.Format, error) {
+		res, err := tune.Tune(c, tune.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		return res.Enc, nil
+	})
+	benchMulAdd(b, k, y, x, fl)
+}
+
+func BenchmarkKernelCSR_Webbase(b *testing.B) {
+	k, y, x, fl := hostKernel(b, "webbase", func(c *matrix.CSR32) (matrix.Format, error) { return c, nil })
+	benchMulAdd(b, k, y, x, fl)
+}
+
+func BenchmarkKernelTuned_Webbase(b *testing.B) {
+	k, y, x, fl := hostKernel(b, "webbase", func(c *matrix.CSR32) (matrix.Format, error) {
+		res, err := tune.Tune(c, tune.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		return res.Enc, nil
+	})
+	benchMulAdd(b, k, y, x, fl)
+}
+
+func BenchmarkKernelParallel_FEMShip(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			coo, err := gen.GenerateByName("FEM/Ship", 0.05, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := spmvMatrixFromCOO(b, coo)
+			op, err := spmv.CompileParallel(m, spmv.DefaultTuneOptions(), threads, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, cols := op.Dims()
+			rows, _ := op.Dims()
+			x := make([]float64, cols)
+			for i := range x {
+				x[i] = 1
+			}
+			y := make([]float64, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op.MulAdd(y, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md). ---
+
+// BenchmarkAblationIndexWidth isolates the 16- vs 32-bit index choice.
+func BenchmarkAblationIndexWidth(b *testing.B) {
+	for _, width := range []string{"16", "32"} {
+		b.Run("bits="+width, func(b *testing.B) {
+			k, y, x, fl := hostKernel(b, "FEM/Harbor", func(c *matrix.CSR32) (matrix.Format, error) {
+				if width == "16" {
+					return matrix.NewBCSR[uint16](c, matrix.BlockShape{R: 2, C: 2})
+				}
+				return matrix.NewBCSR[uint32](c, matrix.BlockShape{R: 2, C: 2})
+			})
+			benchMulAdd(b, k, y, x, fl)
+		})
+	}
+}
+
+// BenchmarkAblationBlockShape sweeps all nine register-block shapes.
+func BenchmarkAblationBlockShape(b *testing.B) {
+	for _, shape := range matrix.BlockShapes {
+		b.Run(shape.String(), func(b *testing.B) {
+			k, y, x, fl := hostKernel(b, "FEM/Spheres", func(c *matrix.CSR32) (matrix.Format, error) {
+				return matrix.NewBCSR[uint32](c, shape)
+			})
+			benchMulAdd(b, k, y, x, fl)
+		})
+	}
+}
+
+// BenchmarkAblationCSRVariant compares the three §4.1 loop structures.
+func BenchmarkAblationCSRVariant(b *testing.B) {
+	for _, v := range []kernel.Variant{kernel.Naive, kernel.SingleLoop, kernel.Branchless} {
+		b.Run(v.String(), func(b *testing.B) {
+			coo, err := gen.GenerateByName("Economics", 0.05, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			csr, err := matrix.NewCSR[uint32](coo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k, err := kernel.CompileCSR(csr, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, csr.C)
+			for i := range x {
+				x[i] = 1
+			}
+			y := make([]float64, csr.R)
+			benchMulAdd(b, k, y, x, 2*csr.NNZ())
+		})
+	}
+}
+
+// BenchmarkAblationBCOOvsBCSR compares the two blocked formats on an
+// empty-row-heavy matrix (where the paper prefers BCOO).
+func BenchmarkAblationBCOOvsBCSR(b *testing.B) {
+	mks := map[string]func(*matrix.CSR32) (matrix.Format, error){
+		"bcsr": func(c *matrix.CSR32) (matrix.Format, error) {
+			return matrix.NewBCSR[uint32](c, matrix.BlockShape{R: 1, C: 2})
+		},
+		"bcoo": func(c *matrix.CSR32) (matrix.Format, error) {
+			return matrix.NewBCOO[uint32](c, matrix.BlockShape{R: 1, C: 2})
+		},
+	}
+	for name, mk := range mks {
+		b.Run(name, func(b *testing.B) {
+			k, y, x, fl := hostKernel(b, "webbase", mk)
+			benchMulAdd(b, k, y, x, fl)
+		})
+	}
+}
+
+// BenchmarkAblationMultiVec measures the multiple-vectors amortization:
+// Gflop/s should grow with k as the matrix stream is shared.
+func BenchmarkAblationMultiVec(b *testing.B) {
+	coo, err := gen.GenerateByName("FEM/Harbor", 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nv := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", nv), func(b *testing.B) {
+			mv, err := kernel.NewMultiVec(csr, nv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, csr.C*nv)
+			for i := range x {
+				x[i] = 1
+			}
+			y := make([]float64, csr.R*nv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mv.MulAdd(y, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			secPerOp := b.Elapsed().Seconds() / float64(b.N)
+			if secPerOp > 0 {
+				b.ReportMetric(float64(2*csr.NNZ()*int64(nv))/secPerOp/1e9, "host-Gflops")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelStrategy compares the three §4.3 decomposition
+// strategies on the same matrix and thread count.
+func BenchmarkAblationParallelStrategy(b *testing.B) {
+	coo, err := gen.GenerateByName("LP", 0.03, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const threads = 4
+	x := make([]float64, csr.C)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, csr.R)
+
+	kernels := map[string]kernel.Kernel{}
+	{
+		part, err := partition.ByNNZ(csr.RowPtr, threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var parts []kernel.Part
+		for _, rg := range part.Ranges {
+			sub := csr.SubmatrixCOO(rg.Lo, rg.Hi, 0, csr.C)
+			enc, err := matrix.NewCSR[uint32](sub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts = append(parts, kernel.Part{Range: rg, Enc: enc})
+		}
+		rk, err := kernel.NewParallel(csr.R, csr.C, parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels["rows"] = rk
+	}
+	{
+		spans := partition.FixedWidthSpans(csr.C, (csr.C+threads-1)/threads)
+		var parts []kernel.ColPart
+		for _, s := range spans {
+			sub := csr.SubmatrixCOO(0, csr.R, s.Lo, s.Hi)
+			enc, err := matrix.NewCSR[uint32](sub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts = append(parts, kernel.ColPart{Span: s, Enc: enc})
+		}
+		ck, err := kernel.NewParallelColumns(csr.R, csr.C, parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels["columns"] = ck
+	}
+	{
+		sk, err := kernel.NewSegmentedScan(csr, threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels["segscan"] = sk
+	}
+	for _, name := range []string{"rows", "columns", "segscan"} {
+		b.Run(name, func(b *testing.B) {
+			k := kernels[name]
+			for i := 0; i < b.N; i++ {
+				if err := k.MulAdd(y, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTunerOverhead measures the one-pass heuristic itself (the paper
+// notes future work will parallelize this step).
+func BenchmarkTunerOverhead(b *testing.B) {
+	coo, err := gen.GenerateByName("FEM/Cantilever", 0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tune.Tune(csr, tune.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// spmvMatrixFromCOO rebuilds a public-API matrix from an internal COO.
+func spmvMatrixFromCOO(b *testing.B, coo *matrix.COO) *spmv.Matrix {
+	b.Helper()
+	r, c := coo.Dims()
+	m := spmv.NewMatrix(r, c)
+	for k := range coo.Val {
+		if err := m.Set(int(coo.RowIdx[k]), int(coo.ColIdx[k]), coo.Val[k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+// Command spmv-bench regenerates the paper's tables and figures from the
+// synthetic suite, the auto-tuner, the baselines, and the platform model.
+//
+// Usage:
+//
+//	spmv-bench [-scale 0.1] [-seed 7] [-csv] [-experiment all]
+//
+// Experiments: table1 table2 table3 table4 figure1-amd figure1-clovertown
+// figure1-niagara figure1-ps3 figure1-blade figure2a figure2b speedups all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "matrix scale factor in (0,1]; 1.0 = paper dimensions")
+	seed := flag.Int64("seed", 7, "generator seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	chart := flag.Bool("chart", false, "render figures as ASCII bar charts (like the paper's plots)")
+	experiment := flag.String("experiment", "all", "which experiment to run (see doc comment)")
+	flag.Parse()
+
+	r := bench.NewRunner(*scale, *seed)
+	tables, err := run(r, *experiment)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmv-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		var renderErr error
+		switch {
+		case *csv:
+			renderErr = t.RenderCSV(os.Stdout)
+		case *chart:
+			renderErr = (&bench.Chart{Table: t}).Render(os.Stdout)
+		default:
+			renderErr = t.Render(os.Stdout)
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "spmv-bench: %v\n", renderErr)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(r *bench.Runner, experiment string) ([]*bench.Table, error) {
+	mk := map[string]func() (*bench.Table, error){
+		"table1": func() (*bench.Table, error) { return bench.Table1(), nil },
+		"table2": func() (*bench.Table, error) { return bench.Table2(), nil },
+		"table3": r.Table3,
+		"table4": r.Table4,
+		"figure1-amd": func() (*bench.Table, error) {
+			return r.Figure1(machine.AMDX2())
+		},
+		"figure1-clovertown": func() (*bench.Table, error) {
+			return r.Figure1(machine.Clovertown())
+		},
+		"figure1-niagara": func() (*bench.Table, error) {
+			return r.Figure1(machine.Niagara())
+		},
+		"figure1-ps3": func() (*bench.Table, error) {
+			return r.Figure1(machine.CellPS3())
+		},
+		"figure1-blade": func() (*bench.Table, error) {
+			return r.Figure1(machine.CellBlade())
+		},
+		"figure2a": r.Figure2a,
+		"figure2b": r.Figure2b,
+		"speedups": r.Speedups,
+	}
+	order := []string{
+		"table1", "table2", "table3", "table4",
+		"figure1-amd", "figure1-clovertown", "figure1-niagara",
+		"figure1-ps3", "figure1-blade",
+		"figure2a", "figure2b", "speedups",
+	}
+	if experiment == "all" {
+		var out []*bench.Table
+		for _, name := range order {
+			t, err := mk[name]()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	f, ok := mk[experiment]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (want one of %v or all)", experiment, order)
+	}
+	t, err := f()
+	if err != nil {
+		return nil, err
+	}
+	return []*bench.Table{t}, nil
+}

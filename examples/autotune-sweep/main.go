@@ -1,0 +1,82 @@
+// Autotune sweep: enumerate every register-block shape × index width for a
+// suite matrix, print footprint and fill, and show which candidate the
+// §4.2 footprint-minimizing heuristic selects. This is the paper's Table-2
+// data-structure optimization space, made visible.
+//
+//	go run ./examples/autotune-sweep [-matrix FEM/Cantilever] [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	spmv "repro"
+)
+
+func main() {
+	name := flag.String("matrix", "FEM/Cantilever", "suite matrix name")
+	scale := flag.Float64("scale", 0.02, "scale factor")
+	seed := flag.Int64("seed", 7, "generator seed")
+	flag.Parse()
+
+	m, err := spmv.GenerateSuite(*name, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("%s: %d x %d, %d nonzeros (%.1f/row), %d empty rows\n\n",
+		*name, st.Rows, st.Cols, st.NNZ, st.NNZPerRow, st.EmptyRows)
+
+	// Sweep: compile with register blocking forced on but cache blocking
+	// off, once per configuration subset, and record footprints. The
+	// public API exposes the winning decision; to show the whole space we
+	// recompile under progressively restricted options.
+	type rowT struct {
+		label     string
+		footprint int64
+		savings   float64
+		kernel    string
+		fill      float64
+	}
+	var rows []rowT
+	add := func(label string, opt spmv.TuneOptions) {
+		op, err := spmv.Compile(m, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fill := 1.0
+		if len(op.Decisions()) > 0 {
+			fill = op.Decisions()[0].Fill
+		}
+		rows = append(rows, rowT{label, op.FootprintBytes(), op.Savings(), op.KernelName(), fill})
+	}
+
+	add("CSR32 (naive)", spmv.NaiveOptions())
+	add("CSR + 16-bit idx", spmv.TuneOptions{ReduceIndices: true})
+	add("RB, 32-bit only", spmv.TuneOptions{RegisterBlock: true})
+	add("RB + 16-bit idx", spmv.TuneOptions{RegisterBlock: true, ReduceIndices: true})
+	add("RB + 16-bit + BCOO", spmv.TuneOptions{RegisterBlock: true, ReduceIndices: true, AllowBCOO: true})
+	full := spmv.DefaultTuneOptions()
+	add("full (+cache/TLB blocking)", full)
+
+	fmt.Printf("%-28s %14s %10s %8s  %s\n", "configuration", "footprint B", "B/nnz", "saved", "kernel (fill of first block)")
+	for _, r := range rows {
+		fmt.Printf("%-28s %14d %10.2f %7.1f%%  %s (%.2f)\n",
+			r.label, r.footprint, float64(r.footprint)/float64(st.NNZ),
+			100*r.savings, r.kernel, r.fill)
+	}
+
+	fmt.Println("\nper-block decisions of the full tuner:")
+	op, err := spmv.Compile(m, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byKind := map[string]int{}
+	for _, d := range op.Decisions() {
+		byKind[fmt.Sprintf("%s %s /%d", d.Format, d.Shape, d.IndexBits)]++
+	}
+	for kind, count := range byKind {
+		fmt.Printf("  %3d block(s) as %s\n", count, kind)
+	}
+}

@@ -1,0 +1,456 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/machine"
+)
+
+// Table1 renders the architectural summary (paper Table 1) from the
+// machine parameter sheets.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1 — Architectural summary of evaluated systems",
+		Header: []string{"System", "Core", "Type", "GHz", "Sockets", "Cores/Socket", "Threads", "DP Gflop/s", "DRAM GB/s", "Flop:Byte", "Watts (system)"},
+	}
+	for _, m := range machine.All() {
+		t.Rows = append(t.Rows, []string{
+			m.Name, m.CoreName, m.Kind.String(),
+			f2(m.ClockGHz),
+			fmt.Sprintf("%d", m.Sockets),
+			fmt.Sprintf("%d", m.CoresPerSocket),
+			fmt.Sprintf("%d", m.Threads()),
+			f2(m.PeakGFlopsSystem()),
+			f2(m.PeakBWSystem()),
+			f2(m.FlopByteRatio()),
+			fmt.Sprintf("%.0f", m.TotalPowerWatts),
+		})
+	}
+	return t
+}
+
+// Table2 renders the optimization-applicability matrix (paper Table 2):
+// which optimizations this reproduction applies on which platform.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2 — SpMV optimizations attempted per architecture",
+		Note:   "x86 = AMD X2 & Clovertown, N = Niagara, C = Cell. '-' = not applicable / no speedup (as in the paper).",
+		Header: []string{"Optimization", "x86", "N", "C"},
+	}
+	rows := [][]string{
+		{"Software pipelining", "-", "yes", "yes"},
+		{"Branchless / segmented", "-", "yes", "yes"},
+		{"SIMDization (modeled)", "yes", "-", "yes"},
+		{"Pointer arithmetic", "-", "yes", "-"},
+		{"SW prefetch / DMA values+indices", "yes", "-", "yes"},
+		{"SW prefetch pointers/vectors", "yes", "-", "-"},
+		{"BCOO storage", "yes", "yes", "-"},
+		{"16-bit indices", "yes", "yes", "yes"},
+		{"32-bit indices", "yes", "yes", "-"},
+		{"Register blocking", "yes", "yes", "-"},
+		{"Cache blocking (sparse)", "yes", "yes", "-"},
+		{"Cache blocking (dense)", "-", "-", "yes"},
+		{"TLB blocking", "yes (Opteron L1 TLB)", "yes", "-"},
+		{"Threading", "goroutines (Pthreads)", "goroutines", "goroutines (libspe)"},
+		{"Row parallelization by nnz", "yes", "yes", "yes"},
+		{"NUMA-aware placement", "yes (AMD)", "-", "yes"},
+		{"Process affinity", "yes", "yes", "yes"},
+		{"Memory affinity", "yes", "-", "yes (interleave)"},
+	}
+	t.Rows = rows
+	return t
+}
+
+// Table3 renders the matrix-suite overview with both the paper's numbers
+// and the generated twins' measured statistics.
+func (r *Runner) Table3() (*Table, error) {
+	t := &Table{
+		Title: "Table 3 — Sparse matrix suite (paper spec vs generated twin)",
+		Note:  fmt.Sprintf("Twins generated at scale %.3g (rows scale, nnz/row preserved).", r.Scale),
+		Header: []string{"Matrix", "Class", "Spec Rows", "Spec NNZ", "Spec NNZ/row",
+			"Gen Rows", "Gen Cols", "Gen NNZ", "Gen NNZ/row", "Gen EmptyRows"},
+	}
+	for _, s := range gen.Suite {
+		coo, err := r.COO(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		st := coo.ComputeStats()
+		t.Rows = append(t.Rows, []string{
+			s.Name, s.Class.String(),
+			fmt.Sprintf("%d", s.Rows), fmt.Sprintf("%d", s.NNZ), f2(s.NNZPerRow),
+			fmt.Sprintf("%d", st.Rows), fmt.Sprintf("%d", st.Cols),
+			fmt.Sprintf("%d", st.NNZ), f2(st.NNZPerRow), fmt.Sprintf("%d", st.EmptyRows),
+		})
+	}
+	return t, nil
+}
+
+// parallelLevels enumerates the three Table-4 parallelism levels for a
+// machine: one core, one full socket (all cores, one thread each — the
+// paper's Niagara "full socket" row is 8c×1t at 2.06 GB/s), and full
+// system (all sockets, cores, and hardware threads).
+func parallelLevels(m *machine.Machine) []struct {
+	Label          string
+	Cores, Sockets int
+	TPC            int
+} {
+	return []struct {
+		Label          string
+		Cores, Sockets int
+		TPC            int
+	}{
+		{"one core", 1, 1, 1},
+		{"1 full socket", m.CoresPerSocket, 1, 1},
+		{"full system", m.CoresPerSocket, m.Sockets, m.ThreadsPerCore},
+	}
+}
+
+// Table4 reproduces the dense-matrix sustained bandwidth / computational
+// rate table.
+func (r *Runner) Table4() (*Table, error) {
+	t := &Table{
+		Title: "Table 4 — Sustained bandwidth and computational rate, dense matrix in sparse format",
+		Note:  "Columns: GB/s (measured traffic / modeled time) and Gflop/s, at one core / one socket / full system.",
+		Header: []string{"Machine", "GB/s 1core", "GB/s socket", "GB/s system",
+			"Gflop/s 1core", "Gflop/s socket", "Gflop/s system"},
+	}
+	for _, m := range machine.All() {
+		row := []string{m.Name}
+		var gbs, gfs []string
+		for _, lv := range parallelLevels(m) {
+			cfg := perfConfig(m, lv.Cores, lv.Sockets, lv.TPC, LevelPFRBCB)
+			est, err := r.Evaluate("Dense", cfg, LevelPFRBCB)
+			if err != nil {
+				return nil, fmt.Errorf("table4 %s %s: %w", m.Name, lv.Label, err)
+			}
+			gbs = append(gbs, f2(est.GBs))
+			gfs = append(gfs, f2(est.GFlops))
+		}
+		row = append(row, gbs...)
+		row = append(row, gfs...)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// figure1Config is one bar of a Figure 1 panel.
+type figure1Config struct {
+	Label          string
+	Cores, Sockets int
+	TPC            int
+	Level          OptLevel
+}
+
+// figure1Configs returns the bar ladder for a machine, mirroring the
+// paper's panels.
+func figure1Configs(m *machine.Machine) []figure1Config {
+	switch m.Kind {
+	case machine.LocalStore:
+		if m.Sockets == 1 { // PS3
+			return []figure1Config{
+				{"1 SPE", 1, 1, 1, LevelPFRBCB},
+				{"6 SPEs", 6, 1, 1, LevelPFRBCB},
+			}
+		}
+		return []figure1Config{
+			{"1 SPE", 1, 1, 1, LevelPFRBCB},
+			{"8 SPEs", 8, 1, 1, LevelPFRBCB},
+			{"16 SPEs", 8, 2, 1, LevelPFRBCB},
+		}
+	case machine.InOrderMT:
+		return []figure1Config{
+			{"1 thread naive", 1, 1, 1, LevelNaive},
+			{"1 thread [PF]", 1, 1, 1, LevelPF},
+			{"1 thread [PF,RB]", 1, 1, 1, LevelPFRB},
+			{"1 thread [opt]", 1, 1, 1, LevelPFRBCB},
+			{"8c x 1t [*]", 8, 1, 1, LevelPFRBCB},
+			{"8c x 2t [*]", 8, 1, 2, LevelPFRBCB},
+			{"8c x 4t [*]", 8, 1, 4, LevelPFRBCB},
+		}
+	default:
+		cfgs := []figure1Config{
+			{"1 core naive", 1, 1, 1, LevelNaive},
+			{"1 core [PF]", 1, 1, 1, LevelPF},
+			{"1 core [PF,RB]", 1, 1, 1, LevelPFRB},
+			{"1 core [PF,RB,CB]", 1, 1, 1, LevelPFRBCB},
+		}
+		if m.CoresPerSocket >= 4 { // Clovertown: 2-core and 4-core bars
+			cfgs = append(cfgs,
+				figure1Config{"2 cores [*]", 2, 1, 1, LevelPFRBCB},
+				figure1Config{"4 cores [*]", 4, 1, 1, LevelPFRBCB})
+		} else {
+			cfgs = append(cfgs, figure1Config{"2 cores [*]", 2, 1, 1, LevelPFRBCB})
+		}
+		cfgs = append(cfgs, figure1Config{
+			fmt.Sprintf("%d sockets x %d cores [*]", m.Sockets, m.CoresPerSocket),
+			m.CoresPerSocket, m.Sockets, 1, LevelPFRBCB})
+		return cfgs
+	}
+}
+
+// Figure1 reproduces one platform panel: per-matrix Gflop/s across the
+// optimization/parallelism ladder, plus OSKI and OSKI-PETSc points on the
+// cache-based x86 machines.
+func (r *Runner) Figure1(m *machine.Machine) (*Table, error) {
+	cfgs := figure1Configs(m)
+	withOSKI := m.Kind == machine.OutOfOrder
+	header := []string{"Matrix"}
+	for _, c := range cfgs {
+		header = append(header, c.Label)
+	}
+	if withOSKI {
+		header = append(header, "OSKI", "OSKI-PETSc")
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 1 (%s) — SpMV effective Gflop/s", m.Name),
+		Note:   "Columns are cumulative optimization levels / parallelism, as in the paper's stacked bars.",
+		Header: header,
+	}
+	for _, name := range SuiteNames() {
+		row := []string{name}
+		for _, c := range cfgs {
+			cfg := perfConfig(m, c.Cores, c.Sockets, c.TPC, c.Level)
+			est, err := r.Evaluate(name, cfg, c.Level)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 %s/%s/%s: %w", m.Name, name, c.Label, err)
+			}
+			row = append(row, f3(est.GFlops))
+		}
+		if withOSKI {
+			serial, petsc, err := r.OSKIBaselines(name, m)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(serial.GFlops), f3(petsc.GFlops))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Median row, the paper's summary statistic.
+	med := []string{"Median"}
+	for c := 1; c < len(header); c++ {
+		var vals []float64
+		for _, row := range t.Rows {
+			var v float64
+			if _, err := fmt.Sscanf(row[c], "%f", &v); err == nil {
+				vals = append(vals, v)
+			}
+		}
+		med = append(med, f3(Median(vals)))
+	}
+	t.Rows = append(t.Rows, med)
+	return t, nil
+}
+
+// Figure2a reproduces the median-performance architectural comparison:
+// single core, full socket, full system per machine, plus OSKI medians.
+func (r *Runner) Figure2a() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 2(a) — Median suite Gflop/s: single core / full socket / full system",
+		Header: []string{"Machine", "1 core", "1 socket (all cores)", "full system", "OSKI (serial)", "OSKI-PETSc (parallel)"},
+	}
+	for _, m := range machine.All() {
+		row := []string{m.Name}
+		for _, lv := range parallelLevels(m) {
+			cfg := perfConfig(m, lv.Cores, lv.Sockets, lv.TPC, LevelPFRBCB)
+			var vals []float64
+			for _, name := range SuiteNames() {
+				est, err := r.Evaluate(name, cfg, LevelPFRBCB)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, est.GFlops)
+			}
+			row = append(row, f3(Median(vals)))
+		}
+		if m.Kind == machine.OutOfOrder {
+			var sv, pv []float64
+			for _, name := range SuiteNames() {
+				serial, petsc, err := r.OSKIBaselines(name, m)
+				if err != nil {
+					return nil, err
+				}
+				sv = append(sv, serial.GFlops)
+				pv = append(pv, petsc.GFlops)
+			}
+			row = append(row, f3(Median(sv)), f3(Median(pv)))
+		} else {
+			row = append(row, "-", "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure2b reproduces the power-efficiency comparison: full-system median
+// Mflop/s divided by full-system watts.
+func (r *Runner) Figure2b() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 2(b) — Power efficiency (full-system Mflop/s per Watt)",
+		Header: []string{"Machine", "Median Gflop/s", "System Watts", "Mflop/s per Watt"},
+	}
+	for _, m := range machine.All() {
+		cfg := perfConfig(m, m.CoresPerSocket, m.Sockets, m.ThreadsPerCore, LevelPFRBCB)
+		var vals []float64
+		for _, name := range SuiteNames() {
+			est, err := r.Evaluate(name, cfg, LevelPFRBCB)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, est.GFlops)
+		}
+		med := Median(vals)
+		t.Rows = append(t.Rows, []string{
+			m.Name, f3(med), fmt.Sprintf("%.0f", m.TotalPowerWatts),
+			f2(med * 1e3 / m.TotalPowerWatts),
+		})
+	}
+	return t, nil
+}
+
+// Speedups reproduces the §6.2-6.5 median speedup claims.
+func (r *Runner) Speedups() (*Table, error) {
+	t := &Table{
+		Title:  "Median speedups (paper §6.2-6.5 claims vs this reproduction)",
+		Header: []string{"Claim", "Paper", "Measured"},
+	}
+	med := func(m *machine.Machine, cores, sockets, tpc int, level OptLevel) (float64, error) {
+		cfg := perfConfig(m, cores, sockets, tpc, level)
+		var vals []float64
+		for _, name := range SuiteNames() {
+			est, err := r.Evaluate(name, cfg, level)
+			if err != nil {
+				return 0, err
+			}
+			vals = append(vals, est.GFlops)
+		}
+		return Median(vals), nil
+	}
+	oskiMed := func(m *machine.Machine) (serial, petsc float64, err error) {
+		var sv, pv []float64
+		for _, name := range SuiteNames() {
+			s, p, err := r.OSKIBaselines(name, m)
+			if err != nil {
+				return 0, 0, err
+			}
+			sv = append(sv, s.GFlops)
+			pv = append(pv, p.GFlops)
+		}
+		return Median(sv), Median(pv), nil
+	}
+
+	amd := machine.AMDX2()
+	amdNaive, err := med(amd, 1, 1, 1, LevelNaive)
+	if err != nil {
+		return nil, err
+	}
+	amdOpt, err := med(amd, 1, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	amd2, err := med(amd, 2, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	amd4, err := med(amd, 2, 2, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	amdOSKI, amdPETSc, err := oskiMed(amd)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := machine.Clovertown()
+	clNaive, err := med(cl, 1, 1, 1, LevelNaive)
+	if err != nil {
+		return nil, err
+	}
+	clOpt, err := med(cl, 1, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	cl2, err := med(cl, 2, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	clSock, err := med(cl, 4, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	clFull, err := med(cl, 4, 2, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	clOSKI, clPETSc, err := oskiMed(cl)
+	if err != nil {
+		return nil, err
+	}
+
+	ni := machine.Niagara()
+	niOpt, err := med(ni, 1, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	ni8, err := med(ni, 8, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	ni16, err := med(ni, 8, 1, 2, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	ni32, err := med(ni, 8, 1, 4, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+
+	ps3 := machine.CellPS3()
+	ps1, err := med(ps3, 1, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	ps6, err := med(ps3, 6, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	bl := machine.CellBlade()
+	bl8, err := med(bl, 8, 1, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+	bl16, err := med(bl, 8, 2, 1, LevelPFRBCB)
+	if err != nil {
+		return nil, err
+	}
+
+	rat := func(a, b float64) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", a/b)
+	}
+	t.Rows = [][]string{
+		{"AMD serial opt vs naive", "1.4x", rat(amdOpt, amdNaive)},
+		{"AMD serial opt vs OSKI", "1.2x", rat(amdOpt, amdOSKI)},
+		{"AMD 2 cores vs 1 (opt)", "1.7x", rat(amd2, amdOpt)},
+		{"AMD full system vs 1 core (opt)", "3.3x", rat(amd4, amdOpt)},
+		{"AMD full system vs OSKI-PETSc", "3.2x", rat(amd4, amdPETSc)},
+		{"Clovertown serial opt vs naive", "1.1x", rat(clOpt, clNaive)},
+		{"Clovertown serial opt vs OSKI", "1.4x", rat(clOpt, clOSKI)},
+		{"Clovertown 2 cores vs 1 (opt)", "1.6x", rat(cl2, clOpt)},
+		{"Clovertown full system vs 1 core", "2.3x", rat(clFull, clOpt)},
+		{"Clovertown full system vs OSKI-PETSc", "2.0x", rat(clFull, clPETSc)},
+		{"Niagara 8 threads vs 1 (opt)", "7.6x", rat(ni8, niOpt)},
+		{"Niagara 16 threads vs 1 (opt)", "13.8x", rat(ni16, niOpt)},
+		{"Niagara 32 threads vs 1 (opt)", "21.2x", rat(ni32, niOpt)},
+		{"Cell 6 SPEs (PS3) vs 1 SPE", "5.7x", rat(ps6, ps1)},
+		{"Cell 8 SPEs (blade) vs 1 SPE", "7.4x", rat(bl8, ps1)},
+		{"Cell 16 SPEs (blade) vs 1 SPE", "9.9x", rat(bl16, ps1)},
+		{"Cell blade socket vs Clovertown socket", "3.4x", rat(bl8, clSock)},
+		{"Cell blade socket vs AMD X2 socket", "3.6x", rat(bl8, amd2)},
+		{"Cell blade socket vs Niagara socket (8c x 1t)", "12.8x", rat(bl8, ni8)},
+	}
+	return t, nil
+}

@@ -1,0 +1,138 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Tables 1-4, Figure 1's four platform
+// panels, Figure 2's two comparison charts, and the §6.2-6.5 speedup
+// claims) as aligned text tables and CSV, from the synthetic matrix suite,
+// the tuner, the baselines, and the platform model.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("## " + t.Title + "\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (simple cells: no quoting needed for
+// the content this package produces, but commas are escaped defensively).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Cell lookup helpers used by the tests and the report generator.
+
+// Col returns the index of a header column, or -1.
+func (t *Table) Col(name string) int {
+	for i, h := range t.Header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns the cell at (row labeled `rowKey` in column 0, column
+// named `col`).
+func (t *Table) Lookup(rowKey, col string) (string, bool) {
+	ci := t.Col(col)
+	if ci < 0 {
+		return "", false
+	}
+	for _, row := range t.Rows {
+		if len(row) > ci && row[0] == rowKey {
+			return row[ci], true
+		}
+	}
+	return "", false
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f2 formats a float with 2 decimals, "-" for NaN/zero sentinel.
+func f2(v float64) string {
+	if v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// f3 formats with 3 decimals.
+func f3(v float64) string {
+	if v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,299 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		size  int64
+		line  int
+		assoc int
+		ok    bool
+	}{
+		{64 << 10, 64, 2, true},
+		{1 << 20, 64, 4, true},
+		{3 << 20, 64, 12, true}, // Niagara L2: 4096 sets, power of two
+		{8 << 10, 16, 4, true},  // Niagara L1
+		{0, 64, 2, false},
+		{1024, 0, 2, false},
+		{1024, 48, 2, false},    // line not power of two
+		{3 << 10, 64, 4, false}, // 12 sets, not power of two
+		{64, 64, 1, true},       // single line
+	}
+	for _, c := range cases {
+		_, err := New(c.size, c.line, c.assoc)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d): err=%v, want ok=%v", c.size, c.line, c.assoc, err, c.ok)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(1<<10, 64, 2)
+	if m := c.Access(0, 8, false); m != 1 {
+		t.Errorf("cold access: %d misses, want 1", m)
+	}
+	if m := c.Access(8, 8, false); m != 0 {
+		t.Errorf("same line: %d misses, want 0", m)
+	}
+	if m := c.Access(63, 2, false); m != 1 {
+		t.Errorf("straddling access: %d misses, want 1 (second line cold)", m)
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 || s.Hits != 2 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 64B lines = 256B. Lines 0,2,4 map to set 0.
+	c := MustNew(256, 64, 2)
+	c.Access(0*64, 8, false) // set 0 way A
+	c.Access(2*64, 8, false) // set 0 way B
+	c.Access(0*64, 8, false) // touch A -> B is LRU
+	c.Access(4*64, 8, false) // evict B
+	if !c.Contains(0 * 64) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(2 * 64) {
+		t.Error("LRU line survived")
+	}
+	if !c.Contains(4 * 64) {
+		t.Error("filled line absent")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := MustNew(128, 64, 1) // direct-mapped, 2 lines
+	c.Access(0, 8, true)     // dirty line 0 (set 0)
+	c.Access(128, 8, false)  // same set, clean: evicts dirty line 0
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("writebacks %d, want 1", s.Writebacks)
+	}
+	// Clean eviction adds nothing.
+	c.Access(256, 8, false)
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("clean eviction counted as writeback")
+	}
+}
+
+func TestFlushWritesBackDirty(t *testing.T) {
+	c := MustNew(256, 64, 2)
+	c.Access(0, 8, true)
+	c.Access(64, 8, false)
+	c.Flush()
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("flush writebacks %d, want 1", got)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Error("lines survive flush")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	// assoc=0 => fully associative: 4 lines, any addresses coexist.
+	c := MustNew(256, 64, 0)
+	addrs := []uint64{0, 1 << 20, 2 << 20, 3 << 20}
+	for _, a := range addrs {
+		c.Access(a, 8, false)
+	}
+	for _, a := range addrs {
+		if !c.Contains(a) {
+			t.Errorf("fully associative cache lost line %x", a)
+		}
+	}
+	// Fifth distinct line evicts exactly the LRU (addrs[0]).
+	c.Access(4<<20, 8, false)
+	if c.Contains(addrs[0]) {
+		t.Error("LRU line survived in fully associative cache")
+	}
+	if !c.Contains(addrs[1]) {
+		t.Error("non-LRU line evicted")
+	}
+}
+
+func TestStreamingMissRate(t *testing.T) {
+	// Streaming 8-byte reads through a 64B-line cache: exactly 1 miss per
+	// 8 accesses, the compulsory-traffic pattern of the matrix arrays.
+	c := MustNew(32<<10, 64, 8)
+	n := 4096
+	for i := 0; i < n; i++ {
+		c.Access(uint64(i*8), 8, false)
+	}
+	s := c.Stats()
+	if want := int64(n / 8); s.Misses != want {
+		t.Errorf("streaming misses %d, want %d", s.Misses, want)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// A working set half the cache size, scanned repeatedly: only the
+	// first sweep misses (the source-vector reuse case).
+	c := MustNew(64<<10, 64, 8)
+	lines := 256 // 16KB
+	for sweep := 0; sweep < 4; sweep++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i*64), 8, false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != int64(lines) {
+		t.Errorf("misses %d, want %d (compulsory only)", s.Misses, lines)
+	}
+}
+
+func TestWorkingSetExceedsLRUThrashes(t *testing.T) {
+	// Working set 2x the cache, scanned cyclically with LRU: every access
+	// misses (the unblocked LP source-vector case).
+	c := MustNew(4<<10, 64, 0) // 64 lines fully associative
+	lines := 128
+	for sweep := 0; sweep < 3; sweep++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i*64), 8, false)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("cyclic over-capacity scan hit %d times, want 0", s.Hits)
+	}
+}
+
+func TestHierarchyForwarding(t *testing.T) {
+	l2 := MustNew(1<<20, 64, 4)
+	l1 := MustNew(8<<10, 64, 2)
+	l1.NextLevel = l2
+	// Touch 512 lines (32KB): misses all in L1; L2 absorbs them.
+	for i := 0; i < 512; i++ {
+		l1.Access(uint64(i*64), 8, false)
+	}
+	// Re-scan: L1 too small (128 lines), misses again; L2 holds everything.
+	l1.ResetStats()
+	l2.ResetStats()
+	for i := 0; i < 512; i++ {
+		l1.Access(uint64(i*64), 8, false)
+	}
+	if l2.Stats().Misses != 0 {
+		t.Errorf("L2 misses %d on resident re-scan, want 0", l2.Stats().Misses)
+	}
+	if l1.Stats().Misses == 0 {
+		t.Error("L1 absorbed a working set 4x its size")
+	}
+}
+
+func TestQuickHitsPlusMissesEqualsAccesses(t *testing.T) {
+	f := func(seed int64, sizeExp, assocSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int64(256) << (sizeExp % 6) // 256B..8KB
+		assoc := []int{1, 2, 4, 0}[assocSel%4]
+		c, err := New(size, 64, assoc)
+		if err != nil {
+			return false
+		}
+		var accesses int64
+		for i := 0; i < 2000; i++ {
+			n := 1 + rng.Intn(16)
+			addr := uint64(rng.Intn(1 << 14))
+			first := addr >> 6
+			last := (addr + uint64(n) - 1) >> 6
+			accesses += int64(last - first + 1)
+			c.Access(addr, n, rng.Intn(2) == 0)
+		}
+		s := c.Stats()
+		return s.Accesses == accesses && s.Hits+s.Misses == s.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionProperty(t *testing.T) {
+	// Any line resident in a cache must have been accessed; re-accessing a
+	// Contains()==true line is always a hit.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(2<<10, 64, 2)
+		addrs := make([]uint64, 200)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(1 << 13))
+			c.Access(addrs[i], 8, false)
+		}
+		for _, a := range addrs {
+			if c.Contains(a) {
+				before := c.Stats().Hits
+				c.Access(a, 1, false)
+				if c.Stats().Hits != before+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb, err := NewTLB(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tlb.Access(0, 8); m != 1 {
+		t.Errorf("cold page: %d misses", m)
+	}
+	if m := tlb.Access(100, 8); m != 0 {
+		t.Errorf("same page: %d misses", m)
+	}
+	tlb.Access(4096, 8) // page 1
+	tlb.Access(0, 8)    // touch page 0 -> page 1 LRU
+	tlb.Access(8192, 8) // page 2 evicts page 1
+	if m := tlb.Access(50, 8); m != 0 {
+		t.Error("page 0 evicted despite recency")
+	}
+	if m := tlb.Access(4097, 8); m != 1 {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestTLBSpanningAccess(t *testing.T) {
+	tlb, _ := NewTLB(4096, 8)
+	// 8KB access spans 3 pages when unaligned.
+	if m := tlb.Access(4000, 8192); m != 3 {
+		t.Errorf("spanning access: %d misses, want 3", m)
+	}
+}
+
+func TestTLBValidation(t *testing.T) {
+	if _, err := NewTLB(1000, 4); err == nil {
+		t.Error("non-power-of-two page accepted")
+	}
+	if _, err := NewTLB(4096, 0); err == nil {
+		t.Error("zero entries accepted")
+	}
+}
+
+func TestTable1Geometries(t *testing.T) {
+	// Every cache geometry in Table 1 must be constructible.
+	geoms := []struct {
+		name  string
+		size  int64
+		line  int
+		assoc int
+	}{
+		{"opteron-l1", 64 << 10, 64, 2},
+		{"opteron-l2", 1 << 20, 64, 4},
+		{"clovertown-l1", 32 << 10, 64, 8},
+		{"clovertown-l2", 4 << 20, 64, 16},
+		{"niagara-l1", 8 << 10, 16, 4},
+		{"niagara-l2", 3 << 20, 64, 12},
+	}
+	for _, g := range geoms {
+		if _, err := New(g.size, g.line, g.assoc); err != nil {
+			t.Errorf("%s: %v", g.name, err)
+		}
+	}
+}

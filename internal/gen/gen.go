@@ -1,0 +1,455 @@
+// Package gen generates the synthetic structural twins of the 14-matrix
+// evaluation suite in Table 3 of the paper. The real matrices come from
+// the University of Florida collection and a web crawl and are not
+// redistributable here, so each generator reproduces the structural
+// parameters that drive SpMV performance instead: dimensions, nonzero
+// count, nonzeros per row, dense block substructure (register
+// blockability), diagonal concentration / bandwidth, row-degree skew
+// (empty rows), and aspect ratio. DESIGN.md documents this substitution.
+//
+// Every generator is deterministic for a given seed and accepts a scale
+// factor in (0,1] that shrinks the row dimension while preserving nonzeros
+// per row, so tests can run on miniatures of the same structure.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Class describes the structural family a suite matrix belongs to.
+type Class int
+
+// The structural families of the Table-3 suite.
+const (
+	ClassDense   Class = iota
+	ClassFEM           // banded dense-block structure
+	ClassLattice       // regular stencil / lattice operators (QCD, Epidemiology)
+	ClassScatter       // few nnz/row, wide scatter (Economics, Accelerator)
+	ClassGraph         // power-law degree distribution (Circuit, webbase)
+	ClassLP            // short and very wide (linear programming)
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassDense:
+		return "dense"
+	case ClassFEM:
+		return "fem"
+	case ClassLattice:
+		return "lattice"
+	case ClassScatter:
+		return "scatter"
+	case ClassGraph:
+		return "graph"
+	case ClassLP:
+		return "lp"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec describes one suite matrix: the paper's Table-3 parameters plus the
+// generator configuration that reproduces them.
+type Spec struct {
+	Name      string  // paper name, e.g. "FEM/Ship"
+	File      string  // paper filename, e.g. "shipsec1.rsa"
+	Class     Class   // structural family
+	Rows      int     // paper row count
+	Cols      int     // paper column count
+	NNZ       int64   // paper nonzero count
+	NNZPerRow float64 // paper nonzeros per row
+	BlockDim  int     // dense sub-block dimension for FEM/lattice classes
+	Diagonal  bool    // guarantee a stored diagonal (circuit-style matrices)
+	Notes     string  // paper description
+}
+
+// Suite lists the 14 matrices of Table 3 in paper order.
+var Suite = []Spec{
+	{Name: "Dense", File: "dense2.pua", Class: ClassDense,
+		Rows: 2000, Cols: 2000, NNZ: 4000000, NNZPerRow: 2000,
+		Notes: "Dense matrix in sparse format"},
+	{Name: "Protein", File: "pdb1HYS.rsa", Class: ClassFEM,
+		Rows: 36000, Cols: 36000, NNZ: 4300000, NNZPerRow: 119, BlockDim: 6,
+		Notes: "Protein data bank 1HYS"},
+	{Name: "FEM/Spheres", File: "consph.rsa", Class: ClassFEM,
+		Rows: 83000, Cols: 83000, NNZ: 6000000, NNZPerRow: 72.2, BlockDim: 6,
+		Notes: "FEM concentric spheres"},
+	{Name: "FEM/Cantilever", File: "cant.rsa", Class: ClassFEM,
+		Rows: 62000, Cols: 62000, NNZ: 4000000, NNZPerRow: 64.5, BlockDim: 4,
+		Notes: "FEM cantilever"},
+	{Name: "Wind Tunnel", File: "pwtk.rsa", Class: ClassFEM,
+		Rows: 218000, Cols: 218000, NNZ: 11600000, NNZPerRow: 53.2, BlockDim: 6,
+		Notes: "Pressurized wind tunnel"},
+	{Name: "FEM/Harbor", File: "rma10.pua", Class: ClassFEM,
+		Rows: 47000, Cols: 47000, NNZ: 2370000, NNZPerRow: 50.4, BlockDim: 3,
+		Notes: "3D CFD of Charleston harbor"},
+	{Name: "QCD", File: "qcd5-4.pua", Class: ClassLattice,
+		Rows: 49000, Cols: 49000, NNZ: 1900000, NNZPerRow: 38.8, BlockDim: 3,
+		Notes: "Quark propagators (QCD/LGT)"},
+	{Name: "FEM/Ship", File: "shipsec1.rsa", Class: ClassFEM,
+		Rows: 141000, Cols: 141000, NNZ: 3980000, NNZPerRow: 28.2, BlockDim: 6,
+		Notes: "Ship section/detail"},
+	{Name: "Economics", File: "mac-econ.rua", Class: ClassScatter,
+		Rows: 207000, Cols: 207000, NNZ: 1270000, NNZPerRow: 6.1,
+		Notes: "Macroeconomic model"},
+	{Name: "Epidemiology", File: "mc2depi.rua", Class: ClassLattice,
+		Rows: 526000, Cols: 526000, NNZ: 2100000, NNZPerRow: 4.0, BlockDim: 1,
+		Notes: "2D Markov model of epidemic"},
+	{Name: "FEM/Accelerator", File: "cop20k-A.rsa", Class: ClassScatter,
+		Rows: 121000, Cols: 121000, NNZ: 2620000, NNZPerRow: 21.7,
+		Notes: "Accelerator cavity design"},
+	{Name: "Circuit", File: "scircuit.rua", Class: ClassGraph,
+		Rows: 171000, Cols: 171000, NNZ: 959000, NNZPerRow: 5.6, Diagonal: true,
+		Notes: "Motorola circuit simulation"},
+	{Name: "webbase", File: "webbase-1M.rua", Class: ClassGraph,
+		Rows: 1000000, Cols: 1000000, NNZ: 3100000, NNZPerRow: 3.1,
+		Notes: "Web connectivity matrix"},
+	{Name: "LP", File: "rail4284.pua", Class: ClassLP,
+		Rows: 4284, Cols: 1100000, NNZ: 11300000, NNZPerRow: 2825,
+		Notes: "Railways set cover constraint matrix"},
+}
+
+// SpecByName returns the suite spec with the given paper name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: no suite matrix named %q", name)
+}
+
+// Generate builds the synthetic twin of a spec at the given scale factor
+// (1.0 = paper dimensions). Scale shrinks rows and columns while keeping
+// nonzeros per row, preserving per-row structure and blockability.
+func Generate(s Spec, scale float64, seed int64) (*matrix.COO, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("gen: scale %v outside (0,1]", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := scaleDim(s.Rows, scale)
+	cols := scaleDim(s.Cols, scale)
+	switch s.Class {
+	case ClassDense:
+		// A dense matrix's nnz/row equals its column count, so scale both.
+		return genDense(rows, cols, rng), nil
+	case ClassFEM:
+		return genFEM(rows, s.NNZPerRow, s.BlockDim, rng), nil
+	case ClassLattice:
+		if s.BlockDim <= 1 {
+			return genStencil2D(rows, rng), nil
+		}
+		return genLatticeBlocks(rows, s.NNZPerRow, s.BlockDim, rng), nil
+	case ClassScatter:
+		return genScatter(rows, cols, s.NNZPerRow, rng), nil
+	case ClassGraph:
+		return genPowerLaw(rows, cols, s.NNZPerRow, s.Diagonal, rng), nil
+	case ClassLP:
+		return genLP(rows, cols, s.NNZPerRow, rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown class %v", s.Class)
+	}
+}
+
+// GenerateByName is Generate keyed by paper name.
+func GenerateByName(name string, scale float64, seed int64) (*matrix.COO, error) {
+	s, err := SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(s, scale, seed)
+}
+
+func scaleDim(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// genDense fills every position: the paper's dense2 "best case for the
+// memory system" used for Table 4.
+func genDense(rows, cols int, rng *rand.Rand) *matrix.COO {
+	m := matrix.NewCOO(rows, cols)
+	m.RowIdx = make([]int32, 0, rows*cols)
+	m.ColIdx = make([]int32, 0, rows*cols)
+	m.Val = make([]float64, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(j))
+			m.Val = append(m.Val, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// genFEM builds a block-banded matrix: dense bdim×bdim tiles on a block
+// grid, each block row containing k tiles whose block columns cluster near
+// the diagonal with Gaussian spread (mesh locality). This mimics FEM
+// stiffness matrices, which register-block well — the property the paper's
+// BCSR optimization exploits on Protein, Spheres, Cantilever, Tunnel,
+// Harbor and Ship.
+func genFEM(rows int, nnzPerRow float64, bdim int, rng *rand.Rand) *matrix.COO {
+	if bdim < 1 {
+		bdim = 1
+	}
+	nb := (rows + bdim - 1) / bdim
+	k := int(math.Round(nnzPerRow / float64(bdim)))
+	if k < 1 {
+		k = 1
+	}
+	if k > nb {
+		k = nb
+	}
+	// Spread of block-column offsets: a few percent of the block dimension
+	// (mimicking mesh bandwidth after reordering), but never so narrow that
+	// k distinct neighbours become improbable — a Gaussian with σ < k/3
+	// cannot reliably supply k distinct integers.
+	spread := float64(nb) * 0.03
+	if minSpread := float64(k) / 2; spread < minSpread {
+		spread = minSpread
+	}
+	if spread < 2 {
+		spread = 2
+	}
+	m := matrix.NewCOO(rows, rows)
+	cap64 := int64(nb) * int64(k) * int64(bdim) * int64(bdim)
+	m.RowIdx = make([]int32, 0, cap64)
+	m.ColIdx = make([]int32, 0, cap64)
+	m.Val = make([]float64, 0, cap64)
+	cols := make(map[int]bool, k)
+	for br := 0; br < nb; br++ {
+		clear(cols)
+		cols[br] = true // diagonal block always present
+		for attempts := 0; len(cols) < k && attempts < 20*k; attempts++ {
+			bc := br + int(rng.NormFloat64()*spread)
+			if bc < 0 || bc >= nb {
+				continue
+			}
+			cols[bc] = true
+		}
+		// Deterministic fallback: top up with the nearest unused block
+		// columns so every block row reaches its target count.
+		for d := 1; len(cols) < k && d < nb; d++ {
+			for _, bc := range [2]int{br - d, br + d} {
+				if bc >= 0 && bc < nb && !cols[bc] && len(cols) < k {
+					cols[bc] = true
+				}
+			}
+		}
+		sorted := make([]int, 0, len(cols))
+		for bc := range cols {
+			sorted = append(sorted, bc)
+		}
+		sort.Ints(sorted)
+		for _, bc := range sorted {
+			emitDenseTile(m, br*bdim, bc*bdim, bdim, rows, rng)
+		}
+	}
+	return m
+}
+
+// emitDenseTile appends a full bdim×bdim tile clipped to the matrix edge.
+func emitDenseTile(m *matrix.COO, r0, c0, bdim, n int, rng *rand.Rand) {
+	for dr := 0; dr < bdim && r0+dr < n; dr++ {
+		for dc := 0; dc < bdim && c0+dc < n; dc++ {
+			m.RowIdx = append(m.RowIdx, int32(r0+dr))
+			m.ColIdx = append(m.ColIdx, int32(c0+dc))
+			m.Val = append(m.Val, rng.NormFloat64())
+		}
+	}
+}
+
+// genLatticeBlocks builds a QCD-like operator: a 1-D wrap-around lattice of
+// bdim×bdim dense tiles at fixed regular offsets, giving every row the same
+// count — the regularity of quark propagator matrices.
+func genLatticeBlocks(rows int, nnzPerRow float64, bdim int, rng *rand.Rand) *matrix.COO {
+	nb := (rows + bdim - 1) / bdim
+	k := int(math.Round(nnzPerRow / float64(bdim)))
+	if k < 1 {
+		k = 1
+	}
+	if k > nb {
+		k = nb
+	}
+	// Fixed symmetric offsets: 0, ±1, ±s, ±s², ... like a 4-D lattice
+	// flattened; choose strides so offsets are distinct.
+	offsets := latticeOffsets(k, nb)
+	m := matrix.NewCOO(rows, rows)
+	for br := 0; br < nb; br++ {
+		for _, off := range offsets {
+			bc := ((br+off)%nb + nb) % nb // periodic boundary
+			emitDenseTile(m, br*bdim, bc*bdim, bdim, rows, rng)
+		}
+	}
+	return m
+}
+
+// latticeOffsets returns k distinct block offsets 0, ±1, ±s, ±s², ... for a
+// lattice with side s = ceil(nb^(1/4)), the 4-D QCD layout.
+func latticeOffsets(k, nb int) []int {
+	s := int(math.Ceil(math.Pow(float64(nb), 0.25)))
+	if s < 2 {
+		s = 2
+	}
+	cand := []int{0}
+	for stride := 1; len(cand) < k && stride < nb; stride *= s {
+		cand = append(cand, stride, -stride)
+	}
+	// Densify with extra strides if the power series was too short.
+	for d := 2; len(cand) < k; d++ {
+		cand = append(cand, d*s+1, -(d*s + 1))
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, k)
+	for _, c := range cand {
+		cc := ((c % nb) + nb) % nb
+		if !seen[cc] {
+			seen[cc] = true
+			out = append(out, c)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// genStencil2D builds the Epidemiology twin: a 5-point stencil on a √n×√n
+// grid (self + 4 neighbours, ~4 stored per row after boundary clipping).
+// Structurally near-diagonal but with a vector far too large for any cache,
+// the property behind the paper's 0.11 flop:byte bound analysis.
+func genStencil2D(rows int, rng *rand.Rand) *matrix.COO {
+	side := int(math.Round(math.Sqrt(float64(rows))))
+	if side < 1 {
+		side = 1
+	}
+	n := side * side
+	m := matrix.NewCOO(n, n)
+	at := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			i := at(r, c)
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(i))
+			m.Val = append(m.Val, rng.NormFloat64())
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				rr, cc := r+d[0], c+d[1]
+				if rr < 0 || rr >= side || cc < 0 || cc >= side {
+					continue
+				}
+				// Keep mean ~4/row: store each neighbour link with p=0.75.
+				if rng.Float64() < 0.75 {
+					m.RowIdx = append(m.RowIdx, int32(i))
+					m.ColIdx = append(m.ColIdx, int32(at(rr, cc)))
+					m.Val = append(m.Val, rng.NormFloat64())
+				}
+			}
+		}
+	}
+	return m
+}
+
+// genScatter builds Economics/Accelerator-like matrices: a guaranteed
+// diagonal plus uniformly scattered off-diagonal entries with no block
+// structure. Wide scatter is what makes these matrices cache-block poorly
+// (few nonzeros per row per cache block, the paper's FEM/Accelerator
+// analysis).
+func genScatter(rows, cols int, nnzPerRow float64, rng *rand.Rand) *matrix.COO {
+	m := matrix.NewCOO(rows, cols)
+	per := nnzPerRow - 1 // one slot spent on the diagonal
+	for i := 0; i < rows; i++ {
+		if i < cols {
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(i))
+			m.Val = append(m.Val, rng.NormFloat64())
+		}
+		// Poisson-ish count via rounding a uniform perturbation.
+		k := int(per)
+		if rng.Float64() < per-float64(k) {
+			k++
+		}
+		for e := 0; e < k; e++ {
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(rng.Intn(cols)))
+			m.Val = append(m.Val, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// genPowerLaw builds Circuit/webbase-like graph matrices: row out-degrees
+// follow a heavy-tailed (Zipf-like) distribution with some rows empty, and
+// column targets mix uniform scatter with preferential attachment to hub
+// columns. Short rows + irregular columns are the worst case the paper
+// identifies for loop overhead and bandwidth.
+func genPowerLaw(rows, cols int, nnzPerRow float64, diagonal bool, rng *rand.Rand) *matrix.COO {
+	m := matrix.NewCOO(rows, cols)
+	perRow := nnzPerRow
+	if diagonal {
+		perRow-- // one slot per row is spent on the diagonal
+	}
+	zipf := rand.NewZipf(rng, 2.0, 1.0, uint64(perRow*12))
+	target := int64(float64(rows) * nnzPerRow)
+	var emitted int64
+	for i := 0; i < rows && emitted < target; i++ {
+		if diagonal && i < cols {
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(i))
+			m.Val = append(m.Val, rng.NormFloat64())
+			emitted++
+		}
+		// Zipf yields mostly 0..2 with occasional large hubs; shift so mean
+		// lands near nnzPerRow by topping up with a Bernoulli trial.
+		deg := int(zipf.Uint64())
+		if rng.Float64() < 0.4 {
+			deg += int(perRow)
+		}
+		for e := 0; e < deg && emitted < target; e++ {
+			var c int
+			if rng.Float64() < 0.3 {
+				c = rng.Intn(1 + cols/100) // hub columns
+			} else {
+				c = rng.Intn(cols)
+			}
+			m.RowIdx = append(m.RowIdx, int32(i))
+			m.ColIdx = append(m.ColIdx, int32(c))
+			m.Val = append(m.Val, rng.NormFloat64())
+			emitted++
+		}
+	}
+	return m
+}
+
+// genLP builds the rail4284 twin: a short, very wide constraint matrix
+// (aspect ratio ~1:250) whose rows each select thousands of columns in
+// short runs scattered across the full width — the set-cover structure
+// that defeats per-core caches (6-8MB source-vector working set) but
+// rewards cache blocking.
+func genLP(rows, cols int, nnzPerRow float64, rng *rand.Rand) *matrix.COO {
+	m := matrix.NewCOO(rows, cols)
+	const run = 8 // consecutive columns per run (train segments)
+	runs := int(nnzPerRow / run)
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < rows; i++ {
+		for s := 0; s < runs; s++ {
+			c0 := rng.Intn(cols)
+			for d := 0; d < run && c0+d < cols; d++ {
+				m.RowIdx = append(m.RowIdx, int32(i))
+				m.ColIdx = append(m.ColIdx, int32(c0+d))
+				m.Val = append(m.Val, rng.NormFloat64())
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,264 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// smallScale shrinks the suite to test size. Chosen so even webbase's
+// 1M rows become ~10K.
+const smallScale = 0.01
+
+func TestSuiteSpecsMatchTable3(t *testing.T) {
+	if len(Suite) != 14 {
+		t.Fatalf("suite has %d matrices, Table 3 lists 14", len(Suite))
+	}
+	// Spot-check the Table 3 numbers for a few rows of the table.
+	checks := map[string]struct {
+		rows int
+		nnz  int64
+	}{
+		"Dense":   {2000, 4000000},
+		"LP":      {4284, 11300000},
+		"webbase": {1000000, 3100000},
+		"QCD":     {49000, 1900000},
+	}
+	for name, want := range checks {
+		s, err := SpecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Rows != want.rows || s.NNZ != want.nnz {
+			t.Errorf("%s: spec %d rows / %d nnz, want %d / %d",
+				name, s.Rows, s.NNZ, want.rows, want.nnz)
+		}
+	}
+	if _, err := SpecByName("NoSuchMatrix"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestGenerateScaleValidation(t *testing.T) {
+	s := Suite[0]
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if _, err := Generate(s, bad, 1); err == nil {
+			t.Errorf("scale %v accepted", bad)
+		}
+	}
+}
+
+// TestGeneratedDensityMatchesSpec checks that every generator lands within
+// 40% of the paper's nonzeros-per-row at small scale (structure, not exact
+// counts, is the contract; most land much closer).
+func TestGeneratedDensityMatchesSpec(t *testing.T) {
+	for _, s := range Suite {
+		m, err := Generate(s, smallScale, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("%s: generated empty matrix", s.Name)
+		}
+		got := float64(m.NNZ()) / float64(m.R)
+		want := s.NNZPerRow
+		if s.Class == ClassDense {
+			want = float64(m.C) // dense nnz/row scales with columns
+		}
+		if got < want*0.6 || got > want*1.4 {
+			t.Errorf("%s: nnz/row %.1f, spec %.1f", s.Name, got, want)
+		}
+	}
+}
+
+func TestGeneratedDimensions(t *testing.T) {
+	for _, s := range Suite {
+		m, err := Generate(s, smallScale, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// Lattice generators round to grid/block multiples; allow 10% slack.
+		wantR := float64(s.Rows) * smallScale
+		if math.Abs(float64(m.R)-wantR) > wantR*0.1+float64(s.BlockDim)+2 {
+			t.Errorf("%s: rows %d, want ~%.0f", s.Name, m.R, wantR)
+		}
+		if s.Class == ClassLP && m.C <= m.R*10 {
+			t.Errorf("LP aspect ratio lost: %dx%d", m.R, m.C)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{"FEM/Cantilever", "webbase", "LP"} {
+		a, err := GenerateByName(name, smallScale, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateByName(name, smallScale, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NNZ() != b.NNZ() {
+			t.Errorf("%s: nondeterministic nnz %d vs %d", name, a.NNZ(), b.NNZ())
+			continue
+		}
+		for k := range a.Val {
+			if a.RowIdx[k] != b.RowIdx[k] || a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+				t.Errorf("%s: entry %d differs between runs", name, k)
+				break
+			}
+		}
+		c, err := GenerateByName(name, smallScale, 124)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NNZ() == c.NNZ() {
+			same := true
+			for k := range a.Val {
+				if a.Val[k] != c.Val[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds produced identical matrices", name)
+			}
+		}
+	}
+}
+
+// TestFEMRegisterBlockability: FEM twins must have low fill ratio under
+// small register blocks (that is the structural property the class
+// exists to model), while scatter twins must have high fill.
+func TestFEMRegisterBlockability(t *testing.T) {
+	fem, err := GenerateByName("FEM/Cantilever", smallScale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	femCSR, err := matrix.NewCSR[uint32](fem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b22, err := matrix.NewBCSR[uint32](femCSR, matrix.BlockShape{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b22.FillRatio() > 1.3 {
+		t.Errorf("FEM/Cantilever 2x2 fill %.2f, want <= 1.3", b22.FillRatio())
+	}
+
+	sc, err := GenerateByName("Economics", smallScale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scCSR, err := matrix.NewCSR[uint32](sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s22, err := matrix.NewBCSR[uint32](scCSR, matrix.BlockShape{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s22.FillRatio() < 2.0 {
+		t.Errorf("Economics 2x2 fill %.2f, want >= 2 (no block structure)", s22.FillRatio())
+	}
+	if s22.FillRatio() <= b22.FillRatio() {
+		t.Errorf("scatter fill %.2f not above FEM fill %.2f",
+			s22.FillRatio(), b22.FillRatio())
+	}
+}
+
+func TestWebbaseHasEmptyRowsAndSkew(t *testing.T) {
+	m, err := GenerateByName("webbase", smallScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.ComputeStats()
+	if st.EmptyRows == 0 {
+		t.Error("webbase twin has no empty rows; power-law degree lost")
+	}
+	if st.MaxRow < 3*int64(math.Ceil(st.NNZPerRow)) {
+		t.Errorf("webbase max row degree %d not skewed vs mean %.1f",
+			st.MaxRow, st.NNZPerRow)
+	}
+}
+
+func TestEpidemiologyNearDiagonal(t *testing.T) {
+	m, err := GenerateByName("Epidemiology", smallScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.ComputeStats()
+	// 5-point stencil on a side×side grid: bandwidth = side ≈ sqrt(n).
+	side := int64(math.Round(math.Sqrt(float64(m.R))))
+	if st.Bandwidth > side+1 {
+		t.Errorf("bandwidth %d, want <= side+1 = %d", st.Bandwidth, side+1)
+	}
+	if st.NNZPerRow < 3 || st.NNZPerRow > 5 {
+		t.Errorf("nnz/row %.2f, want ~4", st.NNZPerRow)
+	}
+}
+
+func TestQCDRegularRows(t *testing.T) {
+	m, err := GenerateByName("QCD", smallScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.ComputeStats()
+	// Periodic lattice: every block row has the same tile count, so row
+	// degree variation comes only from edge clipping.
+	if float64(st.MaxRow) > 1.5*st.NNZPerRow {
+		t.Errorf("QCD rows irregular: max %d vs mean %.1f", st.MaxRow, st.NNZPerRow)
+	}
+}
+
+func TestDenseIsDense(t *testing.T) {
+	m, err := GenerateByName("Dense", 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != int64(m.R)*int64(m.C) {
+		t.Errorf("dense twin nnz %d != %d*%d", m.NNZ(), m.R, m.C)
+	}
+}
+
+func TestLPShortRuns(t *testing.T) {
+	m, err := GenerateByName("LP", smallScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R >= m.C {
+		t.Errorf("LP not short-wide: %dx%d", m.R, m.C)
+	}
+	st := m.ComputeStats()
+	if st.EmptyRows != 0 {
+		t.Errorf("LP has %d empty rows, want 0", st.EmptyRows)
+	}
+}
+
+func TestAllGeneratedMatricesConvert(t *testing.T) {
+	// Every twin must survive CSR conversion + validation: the downstream
+	// pipeline depends on it.
+	for _, s := range Suite {
+		m, err := Generate(s, smallScale, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := csr.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := ClassDense; c <= ClassLP; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", int(c))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// compileBCOO selects the unrolled block-coordinate kernel for the matrix's
+// tile shape. BCOO kernels have no row loop at all: a single flat pass over
+// the tiles, with both coordinates loaded per tile. The paper chooses this
+// format when empty rows would make CSR row pointers waste storage and
+// zero-trip loop iterations.
+func compileBCOO[I matrix.Index](m *matrix.BCOO[I]) (Kernel, error) {
+	eng, err := newBCOOEngine(m)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("bcoo%dx%d/%d", m.Shape.R, m.Shape.C, 8*matrix.IndexBytes[I]())
+	return newSerial(eng, m, name), nil
+}
+
+type bcooEngine[I matrix.Index] struct {
+	m  *matrix.BCOO[I]
+	fn func(m *matrix.BCOO[I], y, x []float64)
+	rp int
+	cp int
+}
+
+func (e *bcooEngine[I]) run(y, x []float64) { e.fn(e.m, y, x) }
+func (e *bcooEngine[I]) rPad() int          { return e.rp }
+func (e *bcooEngine[I]) cPad() int          { return e.cp }
+
+func bcooBodies[I matrix.Index]() map[matrix.BlockShape]func(*matrix.BCOO[I], []float64, []float64) {
+	return map[matrix.BlockShape]func(*matrix.BCOO[I], []float64, []float64){
+		{R: 1, C: 1}: bcoo1x1[I],
+		{R: 1, C: 2}: bcoo1x2[I],
+		{R: 1, C: 4}: bcoo1x4[I],
+		{R: 2, C: 1}: bcoo2x1[I],
+		{R: 2, C: 2}: bcoo2x2[I],
+		{R: 2, C: 4}: bcoo2x4[I],
+		{R: 4, C: 1}: bcoo4x1[I],
+		{R: 4, C: 2}: bcoo4x2[I],
+		{R: 4, C: 4}: bcoo4x4[I],
+	}
+}
+
+func bcoo1x1[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		y[brow[t]] += val[t] * x[bcol[t]]
+	}
+}
+
+func bcoo1x2[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		c := int(bcol[t]) * 2
+		v := t * 2
+		y[brow[t]] += val[v]*x[c] + val[v+1]*x[c+1]
+	}
+}
+
+func bcoo1x4[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		c := int(bcol[t]) * 4
+		v := t * 4
+		y[brow[t]] += val[v]*x[c] + val[v+1]*x[c+1] + val[v+2]*x[c+2] + val[v+3]*x[c+3]
+	}
+}
+
+func bcoo2x1[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 2
+		xv := x[bcol[t]]
+		v := t * 2
+		y[r] += val[v] * xv
+		y[r+1] += val[v+1] * xv
+	}
+}
+
+func bcoo2x2[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 2
+		c := int(bcol[t]) * 2
+		x0, x1 := x[c], x[c+1]
+		v := t * 4
+		y[r] += val[v]*x0 + val[v+1]*x1
+		y[r+1] += val[v+2]*x0 + val[v+3]*x1
+	}
+}
+
+func bcoo2x4[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 2
+		c := int(bcol[t]) * 4
+		x0, x1, x2, x3 := x[c], x[c+1], x[c+2], x[c+3]
+		v := t * 8
+		y[r] += val[v]*x0 + val[v+1]*x1 + val[v+2]*x2 + val[v+3]*x3
+		y[r+1] += val[v+4]*x0 + val[v+5]*x1 + val[v+6]*x2 + val[v+7]*x3
+	}
+}
+
+func bcoo4x1[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 4
+		xv := x[bcol[t]]
+		v := t * 4
+		y[r] += val[v] * xv
+		y[r+1] += val[v+1] * xv
+		y[r+2] += val[v+2] * xv
+		y[r+3] += val[v+3] * xv
+	}
+}
+
+func bcoo4x2[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 4
+		c := int(bcol[t]) * 2
+		x0, x1 := x[c], x[c+1]
+		v := t * 8
+		y[r] += val[v]*x0 + val[v+1]*x1
+		y[r+1] += val[v+2]*x0 + val[v+3]*x1
+		y[r+2] += val[v+4]*x0 + val[v+5]*x1
+		y[r+3] += val[v+6]*x0 + val[v+7]*x1
+	}
+}
+
+func bcoo4x4[I matrix.Index](m *matrix.BCOO[I], y, x []float64) {
+	val, brow, bcol := m.Val, m.BRow, m.BCol
+	for t := range bcol {
+		r := int(brow[t]) * 4
+		c := int(bcol[t]) * 4
+		x0, x1, x2, x3 := x[c], x[c+1], x[c+2], x[c+3]
+		v := t * 16
+		y[r] += val[v]*x0 + val[v+1]*x1 + val[v+2]*x2 + val[v+3]*x3
+		y[r+1] += val[v+4]*x0 + val[v+5]*x1 + val[v+6]*x2 + val[v+7]*x3
+		y[r+2] += val[v+8]*x0 + val[v+9]*x1 + val[v+10]*x2 + val[v+11]*x3
+		y[r+3] += val[v+12]*x0 + val[v+13]*x1 + val[v+14]*x2 + val[v+15]*x3
+	}
+}

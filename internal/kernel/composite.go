@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// compileEngine builds the raw compute engine for any encoded matrix,
+// returning the engine and its variant name. Compile and the composite /
+// parallel wrappers are all built on top of this.
+func compileEngine(fm matrix.Format) (engine, string, error) {
+	switch m := fm.(type) {
+	case *matrix.COO:
+		return &cooEngine{m}, "coo", nil
+	case *matrix.CSR16:
+		return &singleLoopCSREngine[uint16]{m}, "csr16/singleloop", nil
+	case *matrix.CSR32:
+		return &singleLoopCSREngine[uint32]{m}, "csr32/singleloop", nil
+	case *matrix.BCSR[uint16]:
+		e, err := newBCSREngine(m)
+		return e, fmt.Sprintf("bcsr%dx%d/16", m.Shape.R, m.Shape.C), err
+	case *matrix.BCSR[uint32]:
+		e, err := newBCSREngine(m)
+		return e, fmt.Sprintf("bcsr%dx%d/32", m.Shape.R, m.Shape.C), err
+	case *matrix.BCOO[uint16]:
+		e, err := newBCOOEngine(m)
+		return e, fmt.Sprintf("bcoo%dx%d/16", m.Shape.R, m.Shape.C), err
+	case *matrix.BCOO[uint32]:
+		e, err := newBCOOEngine(m)
+		return e, fmt.Sprintf("bcoo%dx%d/32", m.Shape.R, m.Shape.C), err
+	case *matrix.CacheBlocked:
+		e, err := newCompositeEngine(m)
+		return e, fmt.Sprintf("cacheblocked[%d]", len(m.Blocks)), err
+	default:
+		return nil, "", fmt.Errorf("kernel: no kernel for format %T", fm)
+	}
+}
+
+func newBCOOEngine[I matrix.Index](m *matrix.BCOO[I]) (engine, error) {
+	fn, ok := bcooBodies[I]()[m.Shape]
+	if !ok {
+		return nil, fmt.Errorf("kernel: no unrolled BCOO body for shape %v", m.Shape)
+	}
+	return &bcooEngine[I]{
+		m:  m,
+		fn: fn,
+		rp: (m.R + m.Shape.R - 1) / m.Shape.R * m.Shape.R,
+		cp: (m.C + m.Shape.C - 1) / m.Shape.C * m.Shape.C,
+	}, nil
+}
+
+// compositeEngine runs a cache-blocked matrix by dispatching each tile's
+// engine at its (RowOff, ColOff) origin within the shared padded vectors.
+//
+// Tiles whose padded extent spills past their logical edge write only
+// zero-fill contributions (`y += 0·x`) into neighbouring rows, which is
+// arithmetically harmless; see the package comment on padding. (The one
+// caveat: if x contains Inf/NaN in a spill column, 0·x poisons the sum.
+// SpMV over non-finite vectors is outside the study's scope.)
+type compositeEngine struct {
+	blocks []compositeBlock
+	rp, cp int
+}
+
+type compositeBlock struct {
+	rowOff, colOff int
+	eng            engine
+}
+
+func newCompositeEngine(m *matrix.CacheBlocked) (*compositeEngine, error) {
+	ce := &compositeEngine{rp: m.R, cp: m.C}
+	for i, b := range m.Blocks {
+		eng, _, err := compileEngine(b.Enc)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: cache block %d: %w", i, err)
+		}
+		ce.blocks = append(ce.blocks, compositeBlock{b.RowOff, b.ColOff, eng})
+		if n := b.RowOff + eng.rPad(); n > ce.rp {
+			ce.rp = n
+		}
+		if n := b.ColOff + eng.cPad(); n > ce.cp {
+			ce.cp = n
+		}
+	}
+	return ce, nil
+}
+
+func (e *compositeEngine) run(y, x []float64) {
+	for _, b := range e.blocks {
+		b.eng.run(y[b.rowOff:], x[b.colOff:])
+	}
+}
+
+func (e *compositeEngine) rPad() int { return e.rp }
+func (e *compositeEngine) cPad() int { return e.cp }
+
+func compileCacheBlocked(m *matrix.CacheBlocked) (Kernel, error) {
+	eng, err := newCompositeEngine(m)
+	if err != nil {
+		return nil, err
+	}
+	return newSerial(eng, m, fmt.Sprintf("cacheblocked[%d]", len(m.Blocks))), nil
+}

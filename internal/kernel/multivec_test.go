@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestMultiVecMatchesPerVectorReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := fillRandom(matrix.NewCOO(80, 120), rng, 1500)
+	csr, _ := matrix.NewCSR[uint32](m)
+	for _, nv := range []int{1, 2, 3, 4, 7} {
+		mv, err := NewMultiVec(csr, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.Vectors() != nv {
+			t.Errorf("vectors %d", mv.Vectors())
+		}
+		xs := make([][]float64, nv)
+		wants := make([][]float64, nv)
+		for v := range xs {
+			xs[v] = make([]float64, 120)
+			for i := range xs[v] {
+				xs[v][i] = rng.NormFloat64()
+			}
+			wants[v] = make([]float64, 80)
+			reference(m, wants[v], xs[v])
+		}
+		xBlock, err := Interleave(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yBlock := make([]float64, 80*nv)
+		if err := mv.MulAdd(yBlock, xBlock); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deinterleave(yBlock, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range got {
+			if d := maxAbsDiff(got[v], wants[v]); d > 1e-12 {
+				t.Errorf("nv=%d vector %d: diff %g", nv, v, d)
+			}
+		}
+	}
+}
+
+func TestMultiVecValidation(t *testing.T) {
+	m := matrix.NewCOO(4, 4)
+	csr, _ := matrix.NewCSR[uint32](m)
+	if _, err := NewMultiVec(csr, 0); err == nil {
+		t.Error("0 vectors accepted")
+	}
+	mv, _ := NewMultiVec(csr, 2)
+	if err := mv.MulAdd(make([]float64, 8), make([]float64, 7)); err == nil {
+		t.Error("bad x length accepted")
+	}
+	if err := mv.MulAdd(make([]float64, 7), make([]float64, 8)); err == nil {
+		t.Error("bad y length accepted")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	vs := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	block, err := Interleave(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if block[i] != want[i] {
+			t.Fatalf("block %v", block)
+		}
+	}
+	back, err := Deinterleave(block, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range vs {
+		for i := range vs[v] {
+			if back[v][i] != vs[v][i] {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	}
+	if _, err := Interleave(nil); err == nil {
+		t.Error("empty interleave accepted")
+	}
+	if _, err := Interleave([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged interleave accepted")
+	}
+	if _, err := Deinterleave([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("indivisible deinterleave accepted")
+	}
+}
+
+func TestQuickMultiVecAgreesWithSingle(t *testing.T) {
+	f := func(seed int64, nv8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		m := fillRandom(matrix.NewCOO(rows, cols), rng, rng.Intn(rows*cols+1))
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			return false
+		}
+		nv := int(nv8%6) + 1
+		mv, err := NewMultiVec(csr, nv)
+		if err != nil {
+			return false
+		}
+		xs := make([][]float64, nv)
+		for v := range xs {
+			xs[v] = make([]float64, cols)
+			for i := range xs[v] {
+				xs[v][i] = rng.NormFloat64()
+			}
+		}
+		xBlock, err := Interleave(xs)
+		if err != nil {
+			return false
+		}
+		yBlock := make([]float64, rows*nv)
+		if err := mv.MulAdd(yBlock, xBlock); err != nil {
+			return false
+		}
+		got, err := Deinterleave(yBlock, nv)
+		if err != nil {
+			return false
+		}
+		for v := range got {
+			want := make([]float64, rows)
+			reference(m, want, xs[v])
+			if maxAbsDiff(got[v], want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

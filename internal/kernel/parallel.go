@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/matrix"
+	"repro/internal/partition"
+)
+
+// Part pairs a row range of the full matrix with the independently encoded
+// sub-matrix (dimensions Range.Rows() × cols) owned by one thread. The
+// paper builds exactly this structure for its NUMA-aware Pthreads version:
+// each thread block is separately encoded (and may be cache/TLB/register
+// blocked with its own parameters) and placed on its owning node's memory.
+type Part struct {
+	Range partition.Range
+	Enc   matrix.Format
+}
+
+// Parallel is a row-partitioned multithreaded SpMV kernel. Each part is
+// executed by its own goroutine (standing in for a pinned Pthread); parts
+// own disjoint destination ranges, so the only shared state is the
+// read-only source vector.
+type Parallel struct {
+	rows, cols int
+	nnz        int64
+	parts      []parallelPart
+	xpad       []float64 // shared padded source, nil if no part needs padding
+	cpad       int
+	name       string
+	seq        bool // run parts sequentially (for deterministic profiling)
+}
+
+type parallelPart struct {
+	lo, hi int
+	eng    engine
+	ypad   []float64 // private destination pad; nil when the engine fits
+}
+
+// NewParallel assembles a parallel kernel from encoded parts. The parts
+// must tile the row space in order.
+func NewParallel(rows, cols int, parts []Part) (*Parallel, error) {
+	p := &Parallel{rows: rows, cols: cols, cpad: cols,
+		name: fmt.Sprintf("parallel[%d]", len(parts))}
+	at := 0
+	for i, pt := range parts {
+		if pt.Range.Lo != at {
+			return nil, fmt.Errorf("kernel: part %d starts at row %d, want %d", i, pt.Range.Lo, at)
+		}
+		at = pt.Range.Hi
+		er, ec := pt.Enc.Dims()
+		if er != pt.Range.Rows() || ec != cols {
+			return nil, fmt.Errorf("kernel: part %d encoding %dx%d, want %dx%d",
+				i, er, ec, pt.Range.Rows(), cols)
+		}
+		eng, _, err := compileEngine(pt.Enc)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: part %d: %w", i, err)
+		}
+		pp := parallelPart{lo: pt.Range.Lo, hi: pt.Range.Hi, eng: eng}
+		if eng.rPad() > pt.Range.Rows() {
+			pp.ypad = make([]float64, eng.rPad())
+		}
+		if eng.cPad() > p.cpad {
+			p.cpad = eng.cPad()
+		}
+		p.nnz += pt.Enc.NNZ()
+		p.parts = append(p.parts, pp)
+	}
+	if at != rows {
+		return nil, fmt.Errorf("kernel: parts end at row %d, want %d", at, rows)
+	}
+	if p.cpad > cols {
+		p.xpad = make([]float64, p.cpad)
+	}
+	return p, nil
+}
+
+// SetSequential forces the parts to run one after another on the calling
+// goroutine. The simulator uses this to obtain deterministic per-part
+// traces; results are identical either way.
+func (p *Parallel) SetSequential(seq bool) { p.seq = seq }
+
+// Threads returns the number of parts (one goroutine each).
+func (p *Parallel) Threads() int { return len(p.parts) }
+
+// MulAdd implements Kernel.
+func (p *Parallel) MulAdd(y, x []float64) error {
+	if len(y) != p.rows || len(x) != p.cols {
+		return fmt.Errorf("%w: matrix %dx%d with len(y)=%d len(x)=%d",
+			matrix.ErrShape, p.rows, p.cols, len(y), len(x))
+	}
+	xp := x
+	if p.xpad != nil {
+		copy(p.xpad, x)
+		xp = p.xpad
+	}
+	if p.seq {
+		for i := range p.parts {
+			p.parts[i].mulAdd(y, xp)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(p.parts))
+	for i := range p.parts {
+		go func(pp *parallelPart) {
+			defer wg.Done()
+			pp.mulAdd(y, xp)
+		}(&p.parts[i])
+	}
+	wg.Wait()
+	return nil
+}
+
+// mulAdd runs one part against the full-length destination and padded
+// source. A private ypad is used whenever the engine's padded extent would
+// spill into a neighbouring part's rows, which would otherwise be a data
+// race (even though the spilled contributions are arithmetically zero).
+func (pp *parallelPart) mulAdd(y, xp []float64) {
+	if pp.ypad == nil {
+		pp.eng.run(y[pp.lo:pp.hi], xp)
+		return
+	}
+	copy(pp.ypad, y[pp.lo:pp.hi])
+	pp.eng.run(pp.ypad, xp)
+	copy(y[pp.lo:pp.hi], pp.ypad[:pp.hi-pp.lo])
+}
+
+// Format implements Kernel. The parallel kernel is itself a composite; it
+// reports a synthetic Format describing the union of its parts.
+func (p *Parallel) Format() matrix.Format { return (*parallelFormat)(p) }
+
+// Name implements Kernel.
+func (p *Parallel) Name() string { return p.name }
+
+// parallelFormat adapts Parallel to the matrix.Format interface so that
+// footprint accounting can treat threaded matrices uniformly.
+type parallelFormat Parallel
+
+func (f *parallelFormat) Dims() (int, int) { return f.rows, f.cols }
+func (f *parallelFormat) NNZ() int64       { return f.nnz }
+
+func (f *parallelFormat) Stored() int64 {
+	var s int64
+	for _, pp := range f.parts {
+		s += engineStored(pp.eng)
+	}
+	return s
+}
+
+func (f *parallelFormat) FootprintBytes() int64 {
+	var s int64
+	for _, pp := range f.parts {
+		s += engineFootprint(pp.eng)
+	}
+	return s
+}
+
+func (f *parallelFormat) FormatName() string { return (*Parallel)(f).name }
+
+// engineStored and engineFootprint recover the Format carried by an engine.
+func engineStored(e engine) int64 {
+	if fm := engineFormat(e); fm != nil {
+		return fm.Stored()
+	}
+	return 0
+}
+
+func engineFootprint(e engine) int64 {
+	if fm := engineFormat(e); fm != nil {
+		return fm.FootprintBytes()
+	}
+	return 0
+}
+
+func engineFormat(e engine) matrix.Format {
+	switch t := e.(type) {
+	case *cooEngine:
+		return t.m
+	case *naiveCSREngine[uint16]:
+		return t.m
+	case *naiveCSREngine[uint32]:
+		return t.m
+	case *singleLoopCSREngine[uint16]:
+		return t.m
+	case *singleLoopCSREngine[uint32]:
+		return t.m
+	case *branchlessCSREngine[uint16]:
+		return t.m
+	case *branchlessCSREngine[uint32]:
+		return t.m
+	case *bcsrEngine[uint16]:
+		return t.m
+	case *bcsrEngine[uint32]:
+		return t.m
+	case *bcooEngine[uint16]:
+		return t.m
+	case *bcooEngine[uint32]:
+		return t.m
+	case *compositeEngine:
+		var s, f int64
+		for _, b := range t.blocks {
+			if fm := engineFormat(b.eng); fm != nil {
+				s += fm.Stored()
+				f += fm.FootprintBytes()
+			}
+		}
+		return &syntheticFormat{r: t.rp, c: t.cp, stored: s, foot: f}
+	default:
+		return nil
+	}
+}
+
+// syntheticFormat carries aggregate accounting for composite engines.
+type syntheticFormat struct {
+	r, c   int
+	stored int64
+	foot   int64
+}
+
+func (f *syntheticFormat) Dims() (int, int)      { return f.r, f.c }
+func (f *syntheticFormat) NNZ() int64            { return f.stored }
+func (f *syntheticFormat) Stored() int64         { return f.stored }
+func (f *syntheticFormat) FootprintBytes() int64 { return f.foot }
+func (f *syntheticFormat) FormatName() string    { return "composite" }

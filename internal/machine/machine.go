@@ -1,0 +1,367 @@
+// Package machine encodes the architectural parameter sheets of the five
+// evaluated systems (Table 1 of the paper) together with the sustained-
+// bandwidth and latency characteristics the paper reports in its Table 4
+// analysis. These models drive the platform simulator in internal/sim and
+// the execution-time model in internal/perf.
+//
+// Nothing in this package measures the host machine: it is the 2007
+// testbed, in data form.
+package machine
+
+import "fmt"
+
+// CoreKind captures the execution style of a core, which determines how
+// memory latency is tolerated — the central architectural axis of the
+// paper's comparison.
+type CoreKind int
+
+// The core microarchitecture families of the study.
+const (
+	// OutOfOrder covers the AMD Opteron and Intel Core2 "heavy-weight"
+	// superscalars: latency hidden by OoO window + hardware prefetch.
+	OutOfOrder CoreKind = iota
+	// InOrderMT is Niagara's single-issue in-order core with fine-grained
+	// hardware multithreading: latency hidden only by thread interleave.
+	InOrderMT
+	// LocalStore is the Cell SPE: software-controlled local memory with
+	// asynchronous double-buffered DMA; latency hidden almost completely.
+	LocalStore
+)
+
+// String names the core kind.
+func (k CoreKind) String() string {
+	switch k {
+	case OutOfOrder:
+		return "out-of-order"
+	case InOrderMT:
+		return "in-order-mt"
+	case LocalStore:
+		return "local-store"
+	default:
+		return fmt.Sprintf("CoreKind(%d)", int(k))
+	}
+}
+
+// Cache describes one cache level (or local store).
+type Cache struct {
+	Name       string
+	Bytes      int64
+	LineBytes  int
+	Assoc      int  // ways; 0 means fully associative
+	Shared     bool // shared among the cores of one socket (or chip pair)
+	SharedWays int  // number of cores sharing it when Shared (0 = all in socket)
+	LatencyCyc int  // load-to-use latency in cycles
+}
+
+// Machine is the full parameter sheet of one evaluated system.
+type Machine struct {
+	Name     string
+	CoreName string
+	Kind     CoreKind
+
+	ClockGHz       float64
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int // hardware thread contexts (Niagara: 4)
+
+	// DPFlopsPerCycle is per-core double-precision flops/cycle (Niagara's
+	// integer proxy counts as 1, matching the paper's methodology).
+	DPFlopsPerCycle float64
+
+	L1      Cache
+	L2      Cache
+	TLB     TLB
+	MemCtrl Memory
+
+	// SW/HW capability flags from Table 2: which optimization classes are
+	// implementable on this platform.
+	HWPrefetch      bool // hardware stream prefetcher (into L2 on AMD, L1/L2 Intel)
+	SWPrefetchToL1  bool // software prefetch can target L1 (x86 yes, Niagara no)
+	ExplicitDMA     bool // Cell: software-controlled DMA into local store
+	BranchlessWins  bool // branch elimination helps (in-order cores)
+	PipeliningWins  bool // software pipelining helps (in-order cores)
+	NUMA            bool // multi-socket with per-socket memory controllers
+	IntegerProxy    bool // Niagara: 64-bit integer ops proxy for DP floats
+	TotalPowerWatts float64
+	ChipPowerWatts  float64
+
+	// Sustained characteristics used by the bounded-overlap time model.
+	// SustainedBWFrac[p] is the fraction of peak DRAM bandwidth one
+	// "parallel level" p ∈ {1 core, 1 socket, full system} can actually
+	// stream for SpMV-like access patterns. These encode the Table-4
+	// observations: a single Clovertown core extracts only 34% of its FSB,
+	// a Cell socket reaches 91% of XDR, etc.
+	SustainedBWFracCore   float64
+	SustainedBWFracSocket float64
+	SustainedBWFracSystem float64
+
+	// MemLatencyCyc is the round-trip DRAM latency in core cycles, used by
+	// the latency-bound mode of the model (dominant on Niagara, §6.1).
+	MemLatencyCyc float64
+	// KernelEfficiency derates peak flops for the SpMV instruction mix
+	// (index loads, address generation) when compute-bound: the paper's
+	// in-cache sanity check reached 12 of 74.7 Gflop/s on Clovertown.
+	KernelEfficiency float64
+	// KernelEffNaiveFactor further derates KernelEfficiency for the naive
+	// (nested-loop, no unrolling/pipelining) kernel. 1.0 means the
+	// compiler already does as well as the generated kernels.
+	KernelEffNaiveFactor float64
+	// PFBWBoost is the sustained-bandwidth ratio between software-
+	// prefetched and non-prefetched single-core streams: the machinery
+	// behind the paper's PF bars (large on the Opteron, whose hardware
+	// prefetcher stops at the L2; near 1 on the Clovertown, whose hardware
+	// prefetch already reaches the L1; 1 where SW prefetch is unavailable).
+	PFBWBoost float64
+	// StallCycPerElem is the per-stored-element memory stall visible to a
+	// single thread (cycles). Nonzero only for in-order cores without
+	// prefetch (Niagara: L1 16B lines + 22-cycle L2, §6.1); multithreading
+	// divides it.
+	StallCycPerElem float64
+	// RowOverheadCyc is the loop-startup + branch-mispredict cost per
+	// (block) row trip, the penalty that makes short-row matrices slow
+	// everywhere and disastrous on Cell (§5.1, §6.5).
+	RowOverheadCyc float64
+}
+
+// TLB describes the paging hierarchy relevant to TLB blocking.
+type TLB struct {
+	PageBytes int
+	L1Entries int
+	L2Entries int
+}
+
+// Memory describes a socket's DRAM interface.
+type Memory struct {
+	Kind           string  // "DDR2-667", "XDR", ...
+	PerSocketGBs   float64 // peak GB/s per socket
+	CrossSocketGBs float64 // coherent link bandwidth between sockets (HT / BIF)
+}
+
+// Cores returns total cores in the system.
+func (m *Machine) Cores() int { return m.Sockets * m.CoresPerSocket }
+
+// Threads returns total hardware threads in the system.
+func (m *Machine) Threads() int { return m.Cores() * m.ThreadsPerCore }
+
+// PeakGFlopsCore returns per-core peak DP Gflop/s.
+func (m *Machine) PeakGFlopsCore() float64 { return m.ClockGHz * m.DPFlopsPerCycle }
+
+// PeakGFlopsSocket returns per-socket peak DP Gflop/s.
+func (m *Machine) PeakGFlopsSocket() float64 {
+	return m.PeakGFlopsCore() * float64(m.CoresPerSocket)
+}
+
+// PeakGFlopsSystem returns full-system peak DP Gflop/s.
+func (m *Machine) PeakGFlopsSystem() float64 {
+	return m.PeakGFlopsSocket() * float64(m.Sockets)
+}
+
+// PeakBWSystem returns aggregate peak DRAM bandwidth in GB/s.
+func (m *Machine) PeakBWSystem() float64 {
+	return m.MemCtrl.PerSocketGBs * float64(m.Sockets)
+}
+
+// FlopByteRatio returns the system flop:byte ratio of Table 1.
+func (m *Machine) FlopByteRatio() float64 {
+	return m.PeakGFlopsSystem() / m.PeakBWSystem()
+}
+
+// AMDX2 is the dual-socket dual-core Opteron 2214 (SunFire X2200 M2).
+func AMDX2() *Machine {
+	return &Machine{
+		Name:     "AMD X2",
+		CoreName: "Opteron 2214",
+		Kind:     OutOfOrder,
+
+		ClockGHz:        2.2,
+		Sockets:         2,
+		CoresPerSocket:  2,
+		ThreadsPerCore:  1,
+		DPFlopsPerCycle: 2, // half-pumped 128b SSE
+
+		L1: Cache{Name: "L1D", Bytes: 64 << 10, LineBytes: 64, Assoc: 2, LatencyCyc: 3},
+		L2: Cache{Name: "L2 victim", Bytes: 1 << 20, LineBytes: 64, Assoc: 4,
+			Shared: false, LatencyCyc: 12},
+		TLB: TLB{PageBytes: 4096, L1Entries: 32, L2Entries: 512},
+		MemCtrl: Memory{Kind: "DDR2-667 (2x128b)", PerSocketGBs: 10.66,
+			CrossSocketGBs: 8.0}, // one cHT link
+
+		HWPrefetch:      true, // into L2 (victim) only
+		SWPrefetchToL1:  true,
+		BranchlessWins:  false,
+		PipeliningWins:  false,
+		NUMA:            true,
+		TotalPowerWatts: 275,
+		ChipPowerWatts:  190,
+
+		SustainedBWFracCore:   0.51, // Table 4: 5.40 of 10.66 GB/s
+		SustainedBWFracSocket: 0.62, // 6.61 of 10.66
+		SustainedBWFracSystem: 0.59, // 12.55 of 21.33
+		MemLatencyCyc:         220,
+		KernelEfficiency:      0.35,
+		KernelEffNaiveFactor:  0.85,
+		PFBWBoost:             1.40, // §6.2: prefetching "undoubtedly helped"
+		RowOverheadCyc:        10,
+	}
+}
+
+// Clovertown is the dual-socket quad-core Xeon E5345 (Dell PowerEdge 1950).
+func Clovertown() *Machine {
+	return &Machine{
+		Name:     "Clovertown",
+		CoreName: "Core2 (Woodcrest)",
+		Kind:     OutOfOrder,
+
+		ClockGHz:        2.33,
+		Sockets:         2,
+		CoresPerSocket:  4,
+		ThreadsPerCore:  1,
+		DPFlopsPerCycle: 4, // fully-pumped 128b SSE add + mul
+
+		L1: Cache{Name: "L1D", Bytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCyc: 3},
+		L2: Cache{Name: "L2", Bytes: 4 << 20, LineBytes: 64, Assoc: 16,
+			Shared: true, SharedWays: 2, LatencyCyc: 14}, // 4MB per chip (2 cores)
+		TLB: TLB{PageBytes: 4096, L1Entries: 16, L2Entries: 256},
+		// Two FSBs at 10.66 GB/s each into Blackford, which fronts four
+		// FB-DDR2-667 channels totalling 21.3 GB/s.
+		MemCtrl: Memory{Kind: "FB-DDR2-667 (4x64b)", PerSocketGBs: 10.66,
+			CrossSocketGBs: 0}, // UMA through the chipset
+
+		HWPrefetch:      true, // aggressive, into L1 and L2
+		SWPrefetchToL1:  true,
+		BranchlessWins:  false,
+		PipeliningWins:  false,
+		NUMA:            false, // both sockets share the Blackford chipset
+		TotalPowerWatts: 333,
+		ChipPowerWatts:  160,
+
+		SustainedBWFracCore:   0.34, // Table 4: 3.62 of 10.66
+		SustainedBWFracSocket: 0.62, // 6.56 of 10.66
+		SustainedBWFracSystem: 0.42, // 8.86 of 21.33 — FSB does not scale
+		MemLatencyCyc:         250,
+		KernelEfficiency:      0.16, // 12 of 74.7 Gflop/s in-cache sanity check
+		KernelEffNaiveFactor:  0.90,
+		PFBWBoost:             1.06, // §6.3: "rarely any benefit from software prefetching"
+		RowOverheadCyc:        10,
+	}
+}
+
+// Niagara is the single-socket eight-core Sun UltraSPARC T1 (T1000),
+// evaluated with 64-bit integer arithmetic as the paper's proxy for the
+// Niagara-2's pipelined FPUs.
+func Niagara() *Machine {
+	return &Machine{
+		Name:     "Niagara",
+		CoreName: "UltraSPARC T1",
+		Kind:     InOrderMT,
+
+		ClockGHz:        1.0,
+		Sockets:         1,
+		CoresPerSocket:  8,
+		ThreadsPerCore:  4,
+		DPFlopsPerCycle: 1, // 64-bit integer proxy, single-issue
+
+		L1: Cache{Name: "L1D", Bytes: 8 << 10, LineBytes: 16, Assoc: 4, LatencyCyc: 3},
+		L2: Cache{Name: "L2", Bytes: 3 << 20, LineBytes: 64, Assoc: 12,
+			Shared: true, SharedWays: 0, LatencyCyc: 22}, // shared by all 8 cores
+		TLB: TLB{PageBytes: 8192, L1Entries: 64, L2Entries: 0},
+		MemCtrl: Memory{Kind: "DDR-400 (4x128b)", PerSocketGBs: 25.6,
+			CrossSocketGBs: 0},
+
+		HWPrefetch:      false,
+		SWPrefetchToL1:  false, // prefetch lands in L2 only
+		BranchlessWins:  true,
+		PipeliningWins:  true,
+		NUMA:            false,
+		IntegerProxy:    true,
+		TotalPowerWatts: 267,
+		ChipPowerWatts:  72,
+
+		SustainedBWFracCore:   0.01, // Table 4: 0.26 of 25.6 — latency bound
+		SustainedBWFracSocket: 0.20, // 5.02 of 25.6 with 32 threads
+		SustainedBWFracSystem: 0.20,
+		MemLatencyCyc:         90,    // ~90 cycles at 1.0 GHz
+		KernelEfficiency:      0.167, // ~12 single-issue instructions per element
+		KernelEffNaiveFactor:  0.60,  // unrolling/pipelining matter on in-order cores
+		PFBWBoost:             1.0,   // prefetch reaches only the L2: no benefit
+		StallCycPerElem:       40,    // §6.1: 23-48 cycles of memory latency per nonzero
+		RowOverheadCyc:        6,
+	}
+}
+
+// CellPS3 is the single-socket Cell in the PlayStation 3: six usable SPEs.
+func CellPS3() *Machine {
+	m := cellCommon()
+	m.Name = "Cell (PS3)"
+	m.Sockets = 1
+	m.CoresPerSocket = 6
+	m.TotalPowerWatts = 200 // estimated from the QS20 blade, per Table 1
+	m.ChipPowerWatts = 100
+	// The PS3 cannot saturate its socket bandwidth with 6 SPEs of
+	// partially-optimized double precision: it is kernel-bound (§6.5).
+	m.SustainedBWFracCore = 0.127 // 3.25 of 25.6
+	m.SustainedBWFracSocket = 0.72
+	m.SustainedBWFracSystem = 0.72
+	return m
+}
+
+// CellBlade is the dual-socket QS20 blade: 8 SPEs per socket.
+func CellBlade() *Machine {
+	m := cellCommon()
+	m.Name = "Cell Blade"
+	m.Sockets = 2
+	m.CoresPerSocket = 8
+	m.TotalPowerWatts = 315
+	m.ChipPowerWatts = 200
+	m.SustainedBWFracCore = 0.127
+	m.SustainedBWFracSocket = 0.91 // Table 4: 23.2 of 25.6 — DMA wins
+	// Page interleaving (no NUMA-aware placement yet, §4.4) caps the
+	// dual-socket system at 62% of aggregate XDR.
+	m.SustainedBWFracSystem = 0.62
+	return m
+}
+
+func cellCommon() *Machine {
+	return &Machine{
+		CoreName: "STI Cell SPE",
+		Kind:     LocalStore,
+
+		ClockGHz:        3.2,
+		ThreadsPerCore:  1,
+		DPFlopsPerCycle: 4.0 / 7.0, // one DP SIMD instruction every 7 cycles
+
+		L1: Cache{Name: "LS", Bytes: 256 << 10, LineBytes: 128, Assoc: 0,
+			LatencyCyc: 6}, // local store, software-managed
+		TLB: TLB{PageBytes: 4096, L1Entries: 256},
+		MemCtrl: Memory{Kind: "XDR (1x128b)", PerSocketGBs: 25.6,
+			CrossSocketGBs: 20.0}, // coherent BIF
+
+		HWPrefetch:     false,
+		SWPrefetchToL1: false,
+		ExplicitDMA:    true,
+		BranchlessWins: true,
+		PipeliningWins: true,
+		NUMA:           true,
+
+		MemLatencyCyc:        1000, // irrelevant: hidden by double-buffered DMA
+		KernelEfficiency:     0.85, // DMA + static scheduling; DP issue is the wall
+		KernelEffNaiveFactor: 1.0,  // only one Cell code version exists (§4.4)
+		PFBWBoost:            1.0,
+		RowOverheadCyc:       40, // no branch prediction: short rows are "heavily penalized"
+	}
+}
+
+// All returns the five evaluated systems in the paper's presentation order.
+func All() []*Machine {
+	return []*Machine{AMDX2(), Clovertown(), Niagara(), CellPS3(), CellBlade()}
+}
+
+// ByName looks a machine up by its Table-1 name.
+func ByName(name string) (*Machine, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("machine: unknown system %q", name)
+}

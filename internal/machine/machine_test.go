@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable1Numbers verifies the derived quantities against the printed
+// Table 1 values.
+func TestTable1Numbers(t *testing.T) {
+	cases := []struct {
+		m           *Machine
+		coreGF      float64 // DP Gflop/s per core
+		systemGF    float64 // system DP Gflop/s
+		systemBW    float64 // system DRAM GB/s
+		flopByte    float64
+		totalWatts  float64
+		cores       int
+		threadTotal int
+	}{
+		{AMDX2(), 4.4, 17.6, 21.3, 0.83, 275, 4, 4},
+		{Clovertown(), 9.33, 74.7, 21.3, 3.52, 333, 8, 8},
+		{Niagara(), 1.0, 8.0, 25.6, 0.31, 267, 8, 32},
+		{CellPS3(), 1.83, 11.0, 25.6, 0.43, 200, 6, 6},
+		{CellBlade(), 1.83, 29.2, 51.2, 0.57, 315, 16, 16},
+	}
+	for _, c := range cases {
+		if !approx(c.m.PeakGFlopsCore(), c.coreGF, 0.06) {
+			t.Errorf("%s: core %.2f Gflop/s, Table 1 says %.2f",
+				c.m.Name, c.m.PeakGFlopsCore(), c.coreGF)
+		}
+		if !approx(c.m.PeakGFlopsSystem(), c.systemGF, 0.3) {
+			t.Errorf("%s: system %.2f Gflop/s, Table 1 says %.2f",
+				c.m.Name, c.m.PeakGFlopsSystem(), c.systemGF)
+		}
+		if !approx(c.m.PeakBWSystem(), c.systemBW, 0.2) {
+			t.Errorf("%s: system BW %.2f GB/s, Table 1 says %.2f",
+				c.m.Name, c.m.PeakBWSystem(), c.systemBW)
+		}
+		if !approx(c.m.FlopByteRatio(), c.flopByte, 0.03) {
+			t.Errorf("%s: flop:byte %.2f, Table 1 says %.2f",
+				c.m.Name, c.m.FlopByteRatio(), c.flopByte)
+		}
+		if c.m.TotalPowerWatts != c.totalWatts {
+			t.Errorf("%s: %v W, Table 1 says %v", c.m.Name, c.m.TotalPowerWatts, c.totalWatts)
+		}
+		if c.m.Cores() != c.cores || c.m.Threads() != c.threadTotal {
+			t.Errorf("%s: %d cores / %d threads, want %d / %d",
+				c.m.Name, c.m.Cores(), c.m.Threads(), c.cores, c.threadTotal)
+		}
+	}
+}
+
+// TestTable4SustainedBandwidth checks the sustained-bandwidth calibration
+// reproduces Table 4's GB/s columns.
+func TestTable4SustainedBandwidth(t *testing.T) {
+	cases := []struct {
+		m                    *Machine
+		core, socket, system float64 // GB/s
+	}{
+		{AMDX2(), 5.40, 6.61, 12.55},
+		{Clovertown(), 3.62, 6.56, 8.86},
+		{Niagara(), 0.26, 5.02, 5.02}, // socket == system (1 socket); paper's "full socket" is 8c×1t at 2.06
+		{CellPS3(), 3.25, 18.35, 18.35},
+		{CellBlade(), 3.25, 23.20, 31.50},
+	}
+	for _, c := range cases {
+		perSocket := c.m.MemCtrl.PerSocketGBs
+		if got := perSocket * c.m.SustainedBWFracCore; !approx(got, c.core, 0.15) {
+			t.Errorf("%s: core sustained %.2f GB/s, Table 4 says %.2f", c.m.Name, got, c.core)
+		}
+		if got := perSocket * c.m.SustainedBWFracSocket; !approx(got, c.socket, 0.35) {
+			t.Errorf("%s: socket sustained %.2f GB/s, Table 4 says %.2f", c.m.Name, got, c.socket)
+		}
+		if got := c.m.PeakBWSystem() * c.m.SustainedBWFracSystem; !approx(got, c.system, 0.45) {
+			t.Errorf("%s: system sustained %.2f GB/s, Table 4 says %.2f", c.m.Name, got, c.system)
+		}
+	}
+}
+
+func TestArchitecturalFlags(t *testing.T) {
+	if !AMDX2().NUMA || Clovertown().NUMA {
+		t.Error("NUMA flags: AMD is NUMA, Clovertown is UMA through Blackford")
+	}
+	if !Niagara().IntegerProxy {
+		t.Error("Niagara must use the integer proxy")
+	}
+	if Niagara().SWPrefetchToL1 {
+		t.Error("Niagara prefetch reaches only L2")
+	}
+	if !CellBlade().ExplicitDMA || !CellPS3().ExplicitDMA {
+		t.Error("Cell uses explicit DMA")
+	}
+	if AMDX2().BranchlessWins || Clovertown().BranchlessWins {
+		t.Error("branchless gave no x86 speedup in the study")
+	}
+	if !Niagara().BranchlessWins {
+		t.Error("branchless wins on in-order cores")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name, err)
+			continue
+		}
+		if got.Name != m.Name {
+			t.Errorf("ByName(%q) returned %q", m.Name, got.Name)
+		}
+	}
+	if _, err := ByName("VAX"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if len(All()) != 5 {
+		t.Errorf("All() returned %d machines, want 5", len(All()))
+	}
+}
+
+func TestCoreKindString(t *testing.T) {
+	for _, k := range []CoreKind{OutOfOrder, InOrderMT, LocalStore} {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+}
+
+// TestClovertownPeakAdvantage encodes the §6.6 observation setup: the
+// Clovertown socket has 4.2x the AMD X2's peak flops but the same DRAM
+// bandwidth, which is why their sustained SpMV rates converge.
+func TestClovertownPeakAdvantage(t *testing.T) {
+	ratio := Clovertown().PeakGFlopsSocket() / AMDX2().PeakGFlopsSocket()
+	if !approx(ratio, 4.2, 0.1) {
+		t.Errorf("peak ratio %.2f, paper says 4.2x", ratio)
+	}
+	if AMDX2().MemCtrl.PerSocketGBs != Clovertown().MemCtrl.PerSocketGBs {
+		t.Error("per-socket bandwidth should match between AMD X2 and Clovertown")
+	}
+}

@@ -1,0 +1,122 @@
+package matrix
+
+import "fmt"
+
+// CacheBlock is one tile of a cache-blocked matrix. Each tile carries its
+// own encoded sub-matrix (indices rebased to the tile origin) so that, as
+// the paper describes, "it is possible for some cache blocks to be stored
+// in 1x4 BCOO with 32-bit indices, and others in 4x1 BCSR with 16-bit
+// indices" — the register-blocking heuristic runs per cache block.
+type CacheBlock struct {
+	RowOff, ColOff int    // origin of the tile in the parent matrix
+	Rows, Cols     int    // tile extent
+	Enc            Format // CSR16/CSR32/BCSR/BCOO encoding of the tile
+}
+
+// CacheBlocked is the composite container for a matrix partitioned into
+// cache (and optionally TLB) blocks. Blocks are stored in row-band-major
+// order: all blocks of the first row band left to right, then the next.
+type CacheBlocked struct {
+	R, C   int
+	Blocks []CacheBlock
+	nnz    int64
+}
+
+// NewCacheBlocked assembles a composite from encoded tiles. The tiles must
+// be disjoint and lie inside rows×cols; this is checked by Validate, not
+// here, to let tuners build composites incrementally.
+func NewCacheBlocked(rows, cols int, blocks []CacheBlock) *CacheBlocked {
+	cb := &CacheBlocked{R: rows, C: cols, Blocks: blocks}
+	for _, b := range blocks {
+		cb.nnz += b.Enc.NNZ()
+	}
+	return cb
+}
+
+// Dims implements Format.
+func (m *CacheBlocked) Dims() (int, int) { return m.R, m.C }
+
+// NNZ implements Format.
+func (m *CacheBlocked) NNZ() int64 { return m.nnz }
+
+// Stored implements Format.
+func (m *CacheBlocked) Stored() int64 {
+	var s int64
+	for _, b := range m.Blocks {
+		s += b.Enc.Stored()
+	}
+	return s
+}
+
+// FootprintBytes implements Format: the sum of the tile footprints plus the
+// per-tile descriptor (two offsets, two extents: 4 × 8 bytes).
+func (m *CacheBlocked) FootprintBytes() int64 {
+	var s int64
+	for _, b := range m.Blocks {
+		s += b.Enc.FootprintBytes() + 32
+	}
+	return s
+}
+
+// FormatName implements Format.
+func (m *CacheBlocked) FormatName() string {
+	return fmt.Sprintf("CacheBlocked[%d]", len(m.Blocks))
+}
+
+// Validate checks that tiles are in range, consistent with their encodings,
+// and mutually disjoint (pairwise rectangle intersection test — the number
+// of cache blocks is small, so O(n²) is fine).
+func (m *CacheBlocked) Validate() error {
+	for i, b := range m.Blocks {
+		if b.RowOff < 0 || b.ColOff < 0 ||
+			b.RowOff+b.Rows > m.R || b.ColOff+b.Cols > m.C {
+			return fmt.Errorf("matrix: cache block %d [%d+%d, %d+%d) outside %dx%d",
+				i, b.RowOff, b.Rows, b.ColOff, b.Cols, m.R, m.C)
+		}
+		er, ec := b.Enc.Dims()
+		if er != b.Rows || ec != b.Cols {
+			return fmt.Errorf("matrix: cache block %d extent %dx%d but encoding %dx%d",
+				i, b.Rows, b.Cols, er, ec)
+		}
+		for j := i + 1; j < len(m.Blocks); j++ {
+			o := m.Blocks[j]
+			if b.RowOff < o.RowOff+o.Rows && o.RowOff < b.RowOff+b.Rows &&
+				b.ColOff < o.ColOff+o.Cols && o.ColOff < b.ColOff+b.Cols {
+				return fmt.Errorf("matrix: cache blocks %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ToCOO flattens the composite back to global coordinates.
+func (m *CacheBlocked) ToCOO() *COO {
+	out := NewCOO(m.R, m.C)
+	for _, b := range m.Blocks {
+		var sub *COO
+		switch e := b.Enc.(type) {
+		case *COO:
+			sub = e
+		case *CSR16:
+			sub = e.ToCOO()
+		case *CSR32:
+			sub = e.ToCOO()
+		case *BCSR[uint16]:
+			sub = e.ToCOO()
+		case *BCSR[uint32]:
+			sub = e.ToCOO()
+		case *BCOO[uint16]:
+			sub = e.ToCOO()
+		case *BCOO[uint32]:
+			sub = e.ToCOO()
+		default:
+			panic(fmt.Sprintf("matrix: unknown encoding %T in cache block", b.Enc))
+		}
+		for k := range sub.Val {
+			out.RowIdx = append(out.RowIdx, sub.RowIdx[k]+int32(b.RowOff))
+			out.ColIdx = append(out.ColIdx, sub.ColIdx[k]+int32(b.ColOff))
+			out.Val = append(out.Val, sub.Val[k])
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+// Package matrix provides the sparse matrix storage formats used by the
+// SC'07 SpMV study: coordinate (COO), compressed sparse row (CSR),
+// register-blocked CSR (BCSR), and block-coordinate (BCOO) storage, each
+// with a choice of 16-bit or 32-bit column indices, plus the cache-blocked
+// composite container that glues per-block format decisions together.
+//
+// The package is purely about representation, conversion, and footprint
+// accounting. The optimized multiply kernels live in internal/kernel, and
+// the heuristics that choose between these formats live in internal/tune.
+//
+// Throughout, the operation of interest is y ← y + A·x where A is sparse
+// and x (the source vector) and y (the destination vector) are dense.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Index is the set of integer types usable as compressed column (and block
+// row) indices. The paper stores 2-byte indices when a cache block spans
+// fewer than 64K columns and 4-byte indices otherwise; that decision is
+// encoded in the type parameter of CSR, BCSR and BCOO.
+type Index interface {
+	~uint16 | ~uint32
+}
+
+// IndexBytes reports the storage size in bytes of the index type I.
+func IndexBytes[I Index]() int64 {
+	var v I
+	switch any(v).(type) {
+	case uint16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// MaxIndex reports the largest value representable by the index type I.
+func MaxIndex[I Index]() int {
+	var v I
+	switch any(v).(type) {
+	case uint16:
+		return math.MaxUint16
+	default:
+		return math.MaxUint32
+	}
+}
+
+// ErrIndexOverflow is returned when a matrix dimension does not fit in the
+// requested index width.
+var ErrIndexOverflow = errors.New("matrix: dimension exceeds index range")
+
+// ErrShape is returned when vector lengths do not match matrix dimensions.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// Format is the common interface over every concrete storage format.
+type Format interface {
+	// Dims returns the logical (rows, cols) of the matrix or sub-block.
+	Dims() (rows, cols int)
+	// NNZ returns the number of logical nonzeros represented (excluding
+	// explicit zero fill introduced by register blocking).
+	NNZ() int64
+	// Stored returns the number of stored scalar values, including any
+	// explicit zero fill. Stored >= NNZ, and Stored/NNZ is the fill ratio.
+	Stored() int64
+	// FootprintBytes returns the number of bytes occupied by the matrix
+	// data structure itself (values + indices + pointers), the quantity
+	// the paper's one-pass heuristic minimizes.
+	FootprintBytes() int64
+	// FormatName returns a short human-readable name such as "CSR32" or
+	// "BCSR 2x4 /16".
+	FormatName() string
+}
+
+// checkMulShapes validates y, x against an r×c matrix.
+func checkMulShapes(r, c int, y, x []float64) error {
+	if len(y) != r || len(x) != c {
+		return fmt.Errorf("%w: matrix %dx%d with len(y)=%d len(x)=%d",
+			ErrShape, r, c, len(y), len(x))
+	}
+	return nil
+}
+
+// Triplet is one (row, col, value) entry of a matrix in coordinate form.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is the coordinate ("triplet") format: three parallel arrays of row
+// index, column index, and value. It is the interchange format of the
+// package: every other format converts to and from COO, and the reference
+// multiply used by the test suite is defined on COO.
+type COO struct {
+	R, C   int
+	RowIdx []int32
+	ColIdx []int32
+	Val    []float64
+}
+
+// NewCOO creates an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &COO{R: rows, C: cols}
+}
+
+// FromTriplets builds a COO matrix from a triplet slice. Duplicate (row,col)
+// entries are retained; SpMV treats them additively, matching MatrixMarket
+// semantics. Entries out of range return an error.
+func FromTriplets(rows, cols int, ts []Triplet) (*COO, error) {
+	m := NewCOO(rows, cols)
+	m.RowIdx = make([]int32, 0, len(ts))
+	m.ColIdx = make([]int32, 0, len(ts))
+	m.Val = make([]float64, 0, len(ts))
+	for _, t := range ts {
+		if err := m.Append(t.Row, t.Col, t.Val); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Append adds a single entry. It does not deduplicate.
+func (m *COO) Append(row, col int, v float64) error {
+	if row < 0 || row >= m.R || col < 0 || col >= m.C {
+		return fmt.Errorf("matrix: entry (%d,%d) outside %dx%d", row, col, m.R, m.C)
+	}
+	m.RowIdx = append(m.RowIdx, int32(row))
+	m.ColIdx = append(m.ColIdx, int32(col))
+	m.Val = append(m.Val, v)
+	return nil
+}
+
+// Dims implements Format.
+func (m *COO) Dims() (int, int) { return m.R, m.C }
+
+// NNZ implements Format.
+func (m *COO) NNZ() int64 { return int64(len(m.Val)) }
+
+// Stored implements Format.
+func (m *COO) Stored() int64 { return int64(len(m.Val)) }
+
+// FootprintBytes implements Format: 8 bytes per value plus 4+4 bytes of
+// coordinates, the "naive 16 bytes per nonzero" of the paper.
+func (m *COO) FootprintBytes() int64 {
+	return int64(len(m.Val))*8 + int64(len(m.RowIdx))*4 + int64(len(m.ColIdx))*4
+}
+
+// FormatName implements Format.
+func (m *COO) FormatName() string { return "COO" }
+
+// MulAdd computes y ← y + A·x using the straightforward triplet loop. This
+// is the reference implementation all optimized kernels are tested against.
+func (m *COO) MulAdd(y, x []float64) error {
+	if err := checkMulShapes(m.R, m.C, y, x); err != nil {
+		return err
+	}
+	for k := range m.Val {
+		y[m.RowIdx[k]] += m.Val[k] * x[m.ColIdx[k]]
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *COO) Clone() *COO {
+	n := &COO{
+		R:      m.R,
+		C:      m.C,
+		RowIdx: append([]int32(nil), m.RowIdx...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return n
+}
+
+// RowCounts returns a histogram of nonzeros per row.
+func (m *COO) RowCounts() []int64 {
+	counts := make([]int64, m.R)
+	for _, r := range m.RowIdx {
+		counts[r]++
+	}
+	return counts
+}
+
+// EmptyRows returns the number of rows with no nonzeros, the statistic that
+// drives the paper's CSR-vs-BCOO format decision.
+func (m *COO) EmptyRows() int {
+	counts := m.RowCounts()
+	empty := 0
+	for _, c := range counts {
+		if c == 0 {
+			empty++
+		}
+	}
+	return empty
+}
+
+// Stats summarizes the structural properties Table 3 of the paper reports.
+type Stats struct {
+	Rows, Cols     int
+	NNZ            int64
+	NNZPerRow      float64
+	MinRow, MaxRow int64 // min/max nonzeros in any row
+	EmptyRows      int
+	Bandwidth      int64 // max |i-j| over nonzeros
+	DiagFraction   float64
+	Symmetric      bool // structural symmetry (pattern only)
+}
+
+// ComputeStats derives the Table-3 style summary of a matrix.
+func (m *COO) ComputeStats() Stats {
+	s := Stats{Rows: m.R, Cols: m.C, NNZ: m.NNZ()}
+	if m.R > 0 {
+		s.NNZPerRow = float64(s.NNZ) / float64(m.R)
+	}
+	counts := m.RowCounts()
+	s.MinRow = math.MaxInt64
+	if len(counts) == 0 {
+		s.MinRow = 0
+	}
+	for _, c := range counts {
+		if c == 0 {
+			s.EmptyRows++
+		}
+		if c < s.MinRow {
+			s.MinRow = c
+		}
+		if c > s.MaxRow {
+			s.MaxRow = c
+		}
+	}
+	var diag int64
+	pattern := make(map[[2]int32]bool, len(m.Val))
+	for k := range m.Val {
+		i, j := m.RowIdx[k], m.ColIdx[k]
+		d := int64(i) - int64(j)
+		if d < 0 {
+			d = -d
+		}
+		if d > s.Bandwidth {
+			s.Bandwidth = d
+		}
+		if i == j {
+			diag++
+		}
+		pattern[[2]int32{i, j}] = true
+	}
+	if s.NNZ > 0 {
+		s.DiagFraction = float64(diag) / float64(s.NNZ)
+	}
+	s.Symmetric = m.R == m.C
+	if s.Symmetric {
+		for k := range pattern {
+			if k[0] != k[1] && !pattern[[2]int32{k[1], k[0]}] {
+				s.Symmetric = false
+				break
+			}
+		}
+	}
+	return s
+}

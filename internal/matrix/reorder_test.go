@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPermutationValidates(t *testing.T) {
+	if _, ok := NewPermutation([]int32{0, 1, 2}); !ok {
+		t.Error("identity rejected")
+	}
+	if _, ok := NewPermutation([]int32{0, 0, 2}); ok {
+		t.Error("duplicate accepted")
+	}
+	if _, ok := NewPermutation([]int32{0, 3, 1}); ok {
+		t.Error("out of range accepted")
+	}
+	p, _ := NewPermutation([]int32{2, 0, 1})
+	if p.Inv[2] != 0 || p.Inv[0] != 1 || p.Inv[1] != 2 {
+		t.Errorf("inverse %v", p.Inv)
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledBand(t *testing.T) {
+	// Build a tridiagonal matrix, shuffle its labels, and check RCM
+	// recovers a narrow bandwidth.
+	const n = 200
+	rng := rand.New(rand.NewSource(1))
+	shuffle := rng.Perm(n)
+	lab := make([]int32, n)
+	for i, s := range shuffle {
+		lab[i] = int32(s)
+	}
+	m := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		_ = m.Append(int(lab[i]), int(lab[i]), 2)
+		if i+1 < n {
+			_ = m.Append(int(lab[i]), int(lab[i+1]), -1)
+			_ = m.Append(int(lab[i+1]), int(lab[i]), -1)
+		}
+	}
+	before := PatternBandwidth(m)
+	p, ok := RCM(m)
+	if !ok {
+		t.Fatal("RCM failed")
+	}
+	after := PatternBandwidth(p.ApplySymmetric(m))
+	if after >= before/4 {
+		t.Errorf("bandwidth %d -> %d: insufficient reduction", before, after)
+	}
+	if after > 4 {
+		t.Errorf("tridiagonal relabeled to bandwidth %d, want <= 4", after)
+	}
+}
+
+func TestRCMPreservesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewCOO(60, 60)
+	for k := 0; k < 300; k++ {
+		_ = m.Append(rng.Intn(60), rng.Intn(60), rng.NormFloat64())
+	}
+	p, ok := RCM(m)
+	if !ok {
+		t.Fatal("RCM failed")
+	}
+	pm := p.ApplySymmetric(m)
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// y = A x  computed directly.
+	want := make([]float64, 60)
+	if err := m.MulAdd(want, x); err != nil {
+		t.Fatal(err)
+	}
+	// y' = (P A Pᵀ)(P x) should equal P y.
+	px := p.PermuteVec(x)
+	py := make([]float64, 60)
+	if err := pm.MulAdd(py, px); err != nil {
+		t.Fatal(err)
+	}
+	got := p.UnpermuteVec(py)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("row %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRCMHandlesDisconnectedAndEmpty(t *testing.T) {
+	// Two components + isolated vertices.
+	m := NewCOO(8, 8)
+	_ = m.Append(0, 1, 1)
+	_ = m.Append(1, 0, 1)
+	_ = m.Append(5, 6, 1)
+	_ = m.Append(6, 5, 1)
+	p, ok := RCM(m)
+	if !ok {
+		t.Fatal("RCM failed on disconnected graph")
+	}
+	if len(p.Perm) != 8 {
+		t.Fatalf("perm length %d", len(p.Perm))
+	}
+	empty := NewCOO(4, 4)
+	if _, ok := RCM(empty); !ok {
+		t.Error("RCM failed on empty matrix")
+	}
+	rect := NewCOO(2, 3)
+	if _, ok := RCM(rect); ok {
+		t.Error("RCM accepted rectangular matrix")
+	}
+}
+
+func TestPermuteVecRoundTrip(t *testing.T) {
+	p, _ := NewPermutation([]int32{3, 1, 0, 2})
+	v := []float64{10, 20, 30, 40}
+	back := p.UnpermuteVec(p.PermuteVec(v))
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("round trip %v", back)
+		}
+	}
+}
+
+// Property: RCM always yields a valid permutation and never increases the
+// bandwidth of an already-banded matrix by more than the band structure
+// allows; and products are preserved under (P A Pᵀ, P x).
+func TestQuickRCM(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		m := NewCOO(n, n)
+		k := rng.Intn(n * 4)
+		for e := 0; e < k; e++ {
+			_ = m.Append(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		p, ok := RCM(m)
+		if !ok {
+			return false
+		}
+		if _, ok := NewPermutation(p.Perm); !ok {
+			return false
+		}
+		pm := p.ApplySymmetric(m)
+		if pm.NNZ() != m.NNZ() {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		_ = m.MulAdd(want, x)
+		py := make([]float64, n)
+		_ = pm.MulAdd(py, p.PermuteVec(x))
+		got := p.UnpermuteVec(py)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSymmetric builds a random symmetric matrix of dimension n.
+func randomSymmetric(rng *rand.Rand, n, pairs int) *COO {
+	m := NewCOO(n, n)
+	if max := n * (n + 1) / 2; pairs > max {
+		pairs = max // cannot place more distinct upper-triangle positions
+	}
+	type pos struct{ r, c int32 }
+	seen := map[pos]bool{}
+	for len(seen) < pairs {
+		i, j := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if i > j {
+			i, j = j, i
+		}
+		if seen[pos{i, j}] {
+			continue
+		}
+		seen[pos{i, j}] = true
+		v := rng.NormFloat64()
+		_ = m.Append(int(i), int(j), v)
+		if i != j {
+			_ = m.Append(int(j), int(i), v)
+		}
+	}
+	return m
+}
+
+func TestSymCSRHalvesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomSymmetric(rng, 200, 1500)
+	sym, err := NewSymCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewCSR[uint32](m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.NNZ() != full.NNZ() {
+		t.Errorf("logical nnz %d vs %d", sym.NNZ(), full.NNZ())
+	}
+	if float64(sym.Stored()) > 0.6*float64(full.NNZ()) {
+		t.Errorf("stored %d not near half of %d", sym.Stored(), full.NNZ())
+	}
+	if sym.FootprintBytes() >= full.FootprintBytes() {
+		t.Errorf("footprint %d not below full %d", sym.FootprintBytes(), full.FootprintBytes())
+	}
+}
+
+func TestSymCSRMulAddMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(80)
+		m := randomSymmetric(rng, n, rng.Intn(n*4+1))
+		sym, err := NewSymCSR(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		if err := m.MulAdd(want, x); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := sym.MulAdd(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d row %d: %g vs %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSymCSRRejectsAsymmetric(t *testing.T) {
+	m, _ := FromTriplets(3, 3, []Triplet{
+		{Row: 0, Col: 1, Val: 2}, {Row: 1, Col: 0, Val: 3}, // mismatched values
+	})
+	if _, err := NewSymCSR(m); err == nil {
+		t.Error("value-asymmetric matrix accepted")
+	}
+	m2, _ := FromTriplets(3, 3, []Triplet{{Row: 0, Col: 2, Val: 1}}) // missing mirror
+	if _, err := NewSymCSR(m2); err == nil {
+		t.Error("pattern-asymmetric matrix accepted")
+	}
+	rect := NewCOO(2, 3)
+	if _, err := NewSymCSR(rect); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestSymCSRToCOORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomSymmetric(rng, 50, 200)
+	sym, err := NewSymCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := sym.ToCOO()
+	// Compare as products (entries may reorder).
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 50)
+	got := make([]float64, 50)
+	if err := m.MulAdd(want, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.MulAdd(got, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatal("round trip product mismatch")
+		}
+	}
+}
+
+func TestSymCSRDiagonalOnly(t *testing.T) {
+	m, _ := FromTriplets(3, 3, []Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 2}, {Row: 2, Col: 2, Val: 3},
+	})
+	sym, err := NewSymCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.NNZ() != 3 || sym.Stored() != 3 {
+		t.Errorf("nnz %d stored %d", sym.NNZ(), sym.Stored())
+	}
+	y := make([]float64, 3)
+	if err := sym.MulAdd(y, []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 1 || y[1] != 2 || y[2] != 3 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestQuickSymCSRCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		m := randomSymmetric(rng, n, rng.Intn(n*3+1))
+		sym, err := NewSymCSR(m)
+		if err != nil {
+			return false
+		}
+		if sym.Stored() > m.NNZ() {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		if m.MulAdd(want, x) != nil || sym.MulAdd(got, x) != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

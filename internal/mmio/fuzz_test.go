@@ -1,0 +1,37 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the parser against arbitrary inputs: it must never
+// panic, and anything it accepts must round-trip through Write/Read
+// losslessly (dimension- and count-wise).
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 1\n1\n0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("% not a banner\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("accepted matrix failed to write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.R != m.R || back.C != m.C || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed %dx%d/%d -> %dx%d/%d",
+				m.R, m.C, m.NNZ(), back.R, back.C, back.NNZ())
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package mmio reads and writes MatrixMarket exchange files, the format
+// the paper's matrix suite (Table 3) is distributed in: pdb1HYS.rsa,
+// consph.rsa, mac-econ.rua, qcd5-4.pua and friends are all Harwell-Boeing /
+// MatrixMarket style collections. Supporting the standard interchange
+// format lets this reproduction run on the real matrices when they are
+// available, and lets cmd/spmv-gen emit the synthetic twins in a form other
+// tools can consume.
+//
+// The subset implemented is the one SpMV needs:
+//
+//	%%MatrixMarket matrix coordinate real    {general|symmetric}
+//	%%MatrixMarket matrix coordinate pattern {general|symmetric}
+//	%%MatrixMarket matrix array      real    general
+//
+// Pattern entries get value 1.0. Symmetric files are expanded to full
+// storage on read (both (i,j) and (j,i), diagonal once), matching how the
+// study uses them: "we do not exploit symmetry in our experiments".
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// header describes the MatrixMarket banner line.
+type header struct {
+	object   string // "matrix"
+	format   string // "coordinate" | "array"
+	field    string // "real" | "pattern" | "integer"
+	symmetry string // "general" | "symmetric"
+}
+
+func parseHeader(line string) (header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("mmio: malformed banner %q", line)
+	}
+	h := header{object: fields[1], format: fields[2], field: fields[3], symmetry: fields[4]}
+	if h.object != "matrix" {
+		return header{}, fmt.Errorf("mmio: unsupported object %q", h.object)
+	}
+	switch h.format {
+	case "coordinate", "array":
+	default:
+		return header{}, fmt.Errorf("mmio: unsupported format %q", h.format)
+	}
+	switch h.field {
+	case "real", "pattern", "integer":
+	default:
+		return header{}, fmt.Errorf("mmio: unsupported field %q", h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric":
+	default:
+		return header{}, fmt.Errorf("mmio: unsupported symmetry %q", h.symmetry)
+	}
+	if h.format == "array" && (h.field == "pattern" || h.symmetry == "symmetric") {
+		return header{}, fmt.Errorf("mmio: array format supports only real general")
+	}
+	return h, nil
+}
+
+// Read parses a MatrixMarket stream into a COO matrix.
+func Read(r io.Reader) (*matrix.COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	h, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip comments, find the size line.
+	var sizeLine string
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		sizeLine = t
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+
+	switch h.format {
+	case "coordinate":
+		return readCoordinate(sc, h, sizeLine)
+	default:
+		return readArray(sc, sizeLine)
+	}
+}
+
+func readCoordinate(sc *bufio.Scanner, h header, sizeLine string) (*matrix.COO, error) {
+	var rows, cols int
+	var nnz int64
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("mmio: bad size line %q: %w", sizeLine, err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative dimension in size line %q", sizeLine)
+	}
+	m := matrix.NewCOO(rows, cols)
+	var count int64
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		fields := strings.Fields(t)
+		want := 3
+		if h.field == "pattern" {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("mmio: short entry line %q", t)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row in %q: %w", t, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad col in %q: %w", t, err)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value in %q: %w", t, err)
+			}
+		}
+		// MatrixMarket is 1-based.
+		if err := m.Append(i-1, j-1, v); err != nil {
+			return nil, err
+		}
+		if h.symmetry == "symmetric" && i != j {
+			if err := m.Append(j-1, i-1, v); err != nil {
+				return nil, err
+			}
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if count != nnz {
+		return nil, fmt.Errorf("mmio: size line promised %d entries, found %d", nnz, count)
+	}
+	return m, nil
+}
+
+func readArray(sc *bufio.Scanner, sizeLine string) (*matrix.COO, error) {
+	var rows, cols int
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols); err != nil {
+		return nil, fmt.Errorf("mmio: bad array size line %q: %w", sizeLine, err)
+	}
+	m := matrix.NewCOO(rows, cols)
+	// Array format is dense column-major.
+	idx := 0
+	total := rows * cols
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		for _, f := range strings.Fields(t) {
+			if idx >= total {
+				return nil, fmt.Errorf("mmio: too many array entries")
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad array value %q: %w", f, err)
+			}
+			if v != 0 {
+				if err := m.Append(idx%rows, idx/rows, v); err != nil {
+					return nil, err
+				}
+			}
+			idx++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if idx != total {
+		return nil, fmt.Errorf("mmio: array promised %d entries, found %d", total, idx)
+	}
+	return m, nil
+}
+
+// Write emits a COO matrix as "coordinate real general" with 1-based
+// indices, entries in whatever order the matrix stores them.
+func Write(w io.Writer, m *matrix.COO, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "%% %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.R, m.C, m.NNZ()); err != nil {
+		return err
+	}
+	for k := range m.Val {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n",
+			m.RowIdx[k]+1, m.ColIdx[k]+1, m.Val[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

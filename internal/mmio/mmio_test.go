@@ -1,0 +1,206 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func cooTriplets(m *matrix.COO) [][3]float64 {
+	out := make([][3]float64, m.NNZ())
+	for k := range m.Val {
+		out[k] = [3]float64{float64(m.RowIdx[k]), float64(m.ColIdx[k]), m.Val[k]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for d := 0; d < 3; d++ {
+			if out[i][d] != out[j][d] {
+				return out[i][d] < out[j][d]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func equalCOO(a, b *matrix.COO) bool {
+	if a.R != b.R || a.C != b.C || a.NNZ() != b.NNZ() {
+		return false
+	}
+	ta, tb := cooTriplets(a), cooTriplets(b)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadCoordinateGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+2 3 -1
+3 4 7e2
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R != 3 || m.C != 4 || m.NNZ() != 3 {
+		t.Fatalf("dims %dx%d nnz %d", m.R, m.C, m.NNZ())
+	}
+	want, _ := matrix.FromTriplets(3, 4, []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 2.5}, {Row: 1, Col: 2, Val: -1}, {Row: 2, Col: 3, Val: 700},
+	})
+	if !equalCOO(m, want) {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 5
+3 2 6
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal once, off-diagonals mirrored: 1 + 2 + 2 = 5 entries.
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz %d, want 5", m.NNZ())
+	}
+	want, _ := matrix.FromTriplets(3, 3, []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 0, Val: 5}, {Row: 0, Col: 1, Val: 5},
+		{Row: 2, Col: 1, Val: 6}, {Row: 1, Col: 2, Val: 6},
+	})
+	if !equalCOO(m, want) {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Val {
+		if m.Val[k] != 1 {
+			t.Errorf("pattern value %f, want 1", m.Val[k])
+		}
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	// Column-major 2x2 dense: [1 3; 2 0].
+	in := `%%MatrixMarket matrix array real general
+2 2
+1
+2
+3
+0
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.FromTriplets(2, 2, []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: 3},
+	})
+	if !equalCOO(m, want) {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"badBanner":    "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"badObject":    "%%MatrixMarket vector coordinate real general\n1 1 1\n",
+		"badFormat":    "%%MatrixMarket matrix weird real general\n1 1 1\n",
+		"badField":     "%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+		"badSymmetry":  "%%MatrixMarket matrix coordinate real skew\n1 1 1\n",
+		"noSize":       "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"countTooFew":  "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"outOfRange":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"badValue":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"shortLine":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"arraySymm":    "%%MatrixMarket matrix array real symmetric\n2 2\n1\n2\n3\n4\n",
+		"arrayExcess":  "%%MatrixMarket matrix array real general\n1 1\n1\n2\n",
+		"arrayMissing": "%%MatrixMarket matrix array real general\n2 2\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.NewCOO(20, 30)
+	seen := map[[2]int32]bool{}
+	for len(m.Val) < 100 {
+		r, c := int32(rng.Intn(20)), int32(rng.Intn(30))
+		if seen[[2]int32{r, c}] {
+			continue
+		}
+		seen[[2]int32{r, c}] = true
+		_ = m.Append(int(r), int(c), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m, "synthetic test matrix"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalCOO(m, got) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := matrix.NewCOO(rows, cols)
+		n := rng.Intn(rows * cols)
+		placed := map[[2]int32]bool{}
+		for len(m.Val) < n {
+			r, c := int32(rng.Intn(rows)), int32(rng.Intn(cols))
+			if placed[[2]int32{r, c}] {
+				continue
+			}
+			placed[[2]int32{r, c}] = true
+			_ = m.Append(int(r), int(c), rng.NormFloat64())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return equalCOO(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

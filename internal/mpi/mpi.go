@@ -1,0 +1,216 @@
+// Package mpi is a miniature message-passing runtime reproducing the
+// communication substrate of the paper's OSKI-PETSc baseline: "MPICH
+// 1.2.7p1 configured to use the shared-memory (ch_shmem) device where
+// message passing is replaced with memory copying".
+//
+// Ranks are goroutines; the transport is buffered channels carrying
+// explicitly copied payloads — exactly the double-copy (sender packs,
+// receiver unpacks) that makes ch_shmem communication cost real memory
+// bandwidth, the effect behind the paper's 30%-average communication share
+// (§6.2). Every byte copied is counted, so the executable baseline and the
+// analytic model (internal/oski) can be cross-checked.
+//
+// The API is the tiny MPI subset PETSc's MatMult needs: point-to-point
+// send/receive with tags, barrier, and allreduce.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a communicator: a fixed set of ranks with mailboxes between
+// every pair.
+type World struct {
+	size      int
+	mailboxes []chan message // size*size channels, indexed sender*size+receiver
+	barrier   *barrier
+	bytes     atomic.Int64 // total payload bytes copied (sender side)
+	messages  atomic.Int64
+}
+
+type message struct {
+	tag     int
+	payload []float64
+}
+
+// NewWorld creates a communicator with n ranks.
+func NewWorld(n int) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size %d", n)
+	}
+	w := &World{
+		size:      n,
+		mailboxes: make([]chan message, n*n),
+		barrier:   newBarrier(n),
+	}
+	for i := range w.mailboxes {
+		// Deep buffering keeps the simple exchange patterns deadlock-free
+		// without asynchronous progress threads.
+		w.mailboxes[i] = make(chan message, 64)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesCopied returns the total payload bytes that crossed the transport
+// (counting the sender-side copy; the receiver-side copy doubles the
+// memory traffic and is accounted by callers, as ch_shmem does).
+func (w *World) BytesCopied() int64 { return w.bytes.Load() }
+
+// Messages returns the number of point-to-point messages sent.
+func (w *World) Messages() int64 { return w.messages.Load() }
+
+// Rank is one process's handle on the world.
+type Rank struct {
+	w  *World
+	id int
+}
+
+// Rank returns the handle for rank id.
+func (w *World) Rank(id int) (*Rank, error) {
+	if id < 0 || id >= w.size {
+		return nil, fmt.Errorf("mpi: rank %d outside world of %d", id, w.size)
+	}
+	return &Rank{w: w, id: id}, nil
+}
+
+// ID returns this rank's index.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// Send copies data to rank dst with the given tag. The copy is explicit:
+// the receiver never aliases the sender's buffer (ch_shmem semantics).
+func (r *Rank) Send(dst, tag int, data []float64) error {
+	if dst < 0 || dst >= r.w.size {
+		return fmt.Errorf("mpi: send to rank %d outside world of %d", dst, r.w.size)
+	}
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	r.w.bytes.Add(int64(len(data)) * 8)
+	r.w.messages.Add(1)
+	r.w.mailboxes[r.id*r.w.size+dst] <- message{tag: tag, payload: payload}
+	return nil
+}
+
+// Recv receives the next message from rank src with the given tag,
+// copying it into buf (which must be exactly the right length). Messages
+// from the same sender with other tags are NOT reordered past each other —
+// this tiny runtime requires tag agreement in program order, which the
+// SpMV exchange satisfies.
+func (r *Rank) Recv(src, tag int, buf []float64) error {
+	if src < 0 || src >= r.w.size {
+		return fmt.Errorf("mpi: recv from rank %d outside world of %d", src, r.w.size)
+	}
+	msg := <-r.w.mailboxes[src*r.w.size+r.id]
+	if msg.tag != tag {
+		return fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, msg.tag)
+	}
+	if len(msg.payload) != len(buf) {
+		return fmt.Errorf("mpi: rank %d message length %d, buffer %d", r.id, len(msg.payload), len(buf))
+	}
+	copy(buf, msg.payload) // receiver-side unpack copy
+	return nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.w.barrier.await() }
+
+// AllreduceSum sums x across ranks, leaving the result in every rank's
+// out. Implemented as gather-to-0 + broadcast, all through the counted
+// transport.
+func (r *Rank) AllreduceSum(x, out []float64) error {
+	const tagGather, tagBcast = -1, -2
+	if len(x) != len(out) {
+		return fmt.Errorf("mpi: allreduce length mismatch %d vs %d", len(x), len(out))
+	}
+	if r.w.size == 1 {
+		copy(out, x)
+		return nil
+	}
+	if r.id == 0 {
+		acc := make([]float64, len(x))
+		copy(acc, x)
+		buf := make([]float64, len(x))
+		for src := 1; src < r.w.size; src++ {
+			if err := r.Recv(src, tagGather, buf); err != nil {
+				return err
+			}
+			for i := range acc {
+				acc[i] += buf[i]
+			}
+		}
+		for dst := 1; dst < r.w.size; dst++ {
+			if err := r.Send(dst, tagBcast, acc); err != nil {
+				return err
+			}
+		}
+		copy(out, acc)
+		return nil
+	}
+	if err := r.Send(0, tagGather, x); err != nil {
+		return err
+	}
+	return r.Recv(0, tagBcast, out)
+}
+
+// Run spawns fn on every rank and waits for all to finish, returning the
+// first error.
+func (w *World) Run(fn func(r *Rank) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for id := 0; id < w.size; id++ {
+		rank, err := w.Rank(id)
+		if err != nil {
+			return err
+		}
+		go func(id int, rank *Rank) {
+			defer wg.Done()
+			errs[id] = fn(rank)
+		}(id, rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

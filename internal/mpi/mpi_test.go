@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("zero-size world accepted")
+	}
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 {
+		t.Errorf("size %d", w.Size())
+	}
+	if _, err := w.Rank(3); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := w.Rank(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestSendRecvCopies(t *testing.T) {
+	w, _ := NewWorld(2)
+	src := []float64{1, 2, 3}
+	err := w.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			if err := r.Send(1, 5, src); err != nil {
+				return err
+			}
+			// Mutating after send must not affect the receiver (copy
+			// semantics of ch_shmem).
+			src[0] = 99
+		case 1:
+			buf := make([]float64, 3)
+			if err := r.Recv(0, 5, buf); err != nil {
+				return err
+			}
+			if buf[0] != 1 || buf[2] != 3 {
+				t.Errorf("received %v", buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesCopied() != 24 {
+		t.Errorf("bytes copied %d, want 24", w.BytesCopied())
+	}
+	if w.Messages() != 1 {
+		t.Errorf("messages %d, want 1", w.Messages())
+	}
+}
+
+func TestRecvErrors(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			return r.Send(1, 1, []float64{1})
+		case 1:
+			buf := make([]float64, 2) // wrong length
+			if err := r.Recv(0, 1, buf); err == nil {
+				t.Error("length mismatch accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := w.Rank(0)
+	if err := r0.Send(9, 0, nil); err == nil {
+		t.Error("send to invalid rank accepted")
+	}
+	if err := r0.Recv(9, 0, nil); err == nil {
+		t.Error("recv from invalid rank accepted")
+	}
+}
+
+func TestTagMismatchDetected(t *testing.T) {
+	w, _ := NewWorld(2)
+	_ = w.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			return r.Send(1, 1, []float64{1})
+		case 1:
+			buf := make([]float64, 1)
+			if err := r.Recv(0, 2, buf); err == nil {
+				t.Error("tag mismatch accepted")
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	w, _ := NewWorld(4)
+	var mu sync.Mutex
+	order := []int{}
+	err := w.Run(func(r *Rank) error {
+		mu.Lock()
+		order = append(order, 0) // phase-0 marker
+		mu.Unlock()
+		r.Barrier()
+		mu.Lock()
+		order = append(order, 1) // phase-1 marker
+		mu.Unlock()
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All phase-0 markers must precede all phase-1 markers.
+	for i, v := range order[:4] {
+		if v != 0 {
+			t.Fatalf("position %d: phase %d before barrier released", i, v)
+		}
+	}
+	for i, v := range order[4:] {
+		if v != 1 {
+			t.Fatalf("position %d: phase %d after barrier", i+4, v)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		w, _ := NewWorld(n)
+		results := make([][]float64, n)
+		err := w.Run(func(r *Rank) error {
+			x := []float64{float64(r.ID()), 1}
+			out := make([]float64, 2)
+			if err := r.AllreduceSum(x, out); err != nil {
+				return err
+			}
+			results[r.ID()] = out
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum := float64(n*(n-1)) / 2
+		for id, res := range results {
+			if res[0] != wantSum || res[1] != float64(n) {
+				t.Errorf("n=%d rank %d: %v, want [%g %g]", n, id, res, wantSum, float64(n))
+			}
+		}
+	}
+}
+
+func TestAllreduceLengthMismatch(t *testing.T) {
+	w, _ := NewWorld(1)
+	r0, _ := w.Rank(0)
+	if err := r0.AllreduceSum([]float64{1}, make([]float64, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestManyMessagesNoDeadlock(t *testing.T) {
+	// Exercise buffering: every rank sends a burst to every other rank
+	// before anyone receives.
+	w, _ := NewWorld(4)
+	err := w.Run(func(r *Rank) error {
+		for round := 0; round < 10; round++ {
+			for dst := 0; dst < r.Size(); dst++ {
+				if dst == r.ID() {
+					continue
+				}
+				if err := r.Send(dst, round, []float64{float64(round)}); err != nil {
+					return err
+				}
+			}
+		}
+		buf := make([]float64, 1)
+		for round := 0; round < 10; round++ {
+			for src := 0; src < r.Size(); src++ {
+				if src == r.ID() {
+					continue
+				}
+				if err := r.Recv(src, round, buf); err != nil {
+					return err
+				}
+				if buf[0] != float64(round) {
+					t.Errorf("round %d: got %v", round, buf[0])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

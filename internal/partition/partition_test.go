@@ -1,0 +1,251 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// rowPtrFromCounts builds a CSR-style row pointer from per-row counts.
+func rowPtrFromCounts(counts []int64) []int64 {
+	ptr := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		ptr[i+1] = ptr[i] + c
+	}
+	return ptr
+}
+
+func TestByNNZBalanced(t *testing.T) {
+	// 100 rows, 10 nnz each: every 4-way part should carry exactly 250.
+	counts := make([]int64, 100)
+	for i := range counts {
+		counts[i] = 10
+	}
+	p, err := ByNNZ(rowPtrFromCounts(counts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range p.Ranges {
+		if r.NNZ != 250 {
+			t.Errorf("part %d carries %d nnz, want 250", i, r.NNZ)
+		}
+	}
+	if p.Imbalance() != 1 {
+		t.Errorf("imbalance %f, want 1", p.Imbalance())
+	}
+}
+
+func TestByNNZSkewed(t *testing.T) {
+	// One dense row among empty ones: the dense row's part dominates but
+	// every row is still covered exactly once.
+	counts := make([]int64, 64)
+	counts[10] = 1000
+	p, err := ByNNZ(rowPtrFromCounts(counts), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range p.Ranges {
+		total += r.NNZ
+	}
+	if total != 1000 {
+		t.Errorf("partition lost nonzeros: %d", total)
+	}
+}
+
+func TestEqualRowsImbalance(t *testing.T) {
+	// Reproduce the FEM-Accel observation: equal-rows partitioning can put
+	// a large share of nonzeros on one process. Concentrate nnz in the
+	// first quarter of rows.
+	counts := make([]int64, 100)
+	for i := 0; i < 25; i++ {
+		counts[i] = 40
+	}
+	for i := 25; i < 100; i++ {
+		counts[i] = 1
+	}
+	eq, err := EqualRows(rowPtrFromCounts(counts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := ByNNZ(rowPtrFromCounts(counts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.MaxShare() < 0.9 {
+		t.Errorf("equal-rows max share %f, want >= 0.9 for skewed matrix", eq.MaxShare())
+	}
+	if bal.Imbalance() > 1.5 {
+		t.Errorf("nnz-balanced imbalance %f, want <= 1.5", bal.Imbalance())
+	}
+	if eq.Imbalance() <= bal.Imbalance() {
+		t.Errorf("equal-rows imbalance %f not worse than balanced %f",
+			eq.Imbalance(), bal.Imbalance())
+	}
+}
+
+func TestPartitionMoreThreadsThanRows(t *testing.T) {
+	counts := []int64{3, 5}
+	for _, n := range []int{1, 2, 3, 8} {
+		p, err := ByNNZ(rowPtrFromCounts(counts), n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(p.Ranges) != n {
+			t.Errorf("n=%d: got %d ranges", n, len(p.Ranges))
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := ByNNZ([]int64{0}, 0); err == nil {
+		t.Error("ByNNZ accepted 0 parts")
+	}
+	if _, err := EqualRows([]int64{0}, -1); err == nil {
+		t.Error("EqualRows accepted negative parts")
+	}
+}
+
+func TestAssignNUMA(t *testing.T) {
+	counts := make([]int64, 16)
+	for i := range counts {
+		counts[i] = 1
+	}
+	p, _ := ByNNZ(rowPtrFromCounts(counts), 4)
+	AssignNUMA(p, 2)
+	want := []int{0, 0, 1, 1}
+	for i, r := range p.Ranges {
+		if r.Node != want[i] {
+			t.Errorf("range %d on node %d, want %d", i, r.Node, want[i])
+		}
+	}
+	// Single node: everything on node 0.
+	AssignNUMA(p, 1)
+	for i, r := range p.Ranges {
+		if r.Node != 0 {
+			t.Errorf("range %d on node %d, want 0", i, r.Node)
+		}
+	}
+}
+
+func TestQuickPartitionTiles(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(200)
+		counts := make([]int64, rows)
+		for i := range counts {
+			counts[i] = int64(rng.Intn(20))
+		}
+		n := int(n8%16) + 1
+		ptr := rowPtrFromCounts(counts)
+		for _, mk := range []func([]int64, int) (*Partition, error){ByNNZ, EqualRows} {
+			p, err := mk(ptr, n)
+			if err != nil || p.Validate() != nil || len(p.Ranges) != n {
+				return false
+			}
+			var total int64
+			for _, r := range p.Ranges {
+				total += r.NNZ
+			}
+			if total != ptr[rows] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpansByLineBudget(t *testing.T) {
+	// 64 columns, 8 elems/line, touched columns in lines 0,1,2,5,7.
+	touched := []int32{0, 3, 8, 17, 40, 41, 56}
+	spans := SpansByLineBudget(64, 8, 2, touched)
+	// Spans must tile [0,64).
+	at := 0
+	for _, s := range spans {
+		if s.Lo != at || s.Hi <= s.Lo {
+			t.Fatalf("spans do not tile: %+v", spans)
+		}
+		at = s.Hi
+	}
+	if at != 64 {
+		t.Fatalf("spans end at %d: %+v", at, spans)
+	}
+	// Each span must touch at most 2 distinct lines from `touched`.
+	for _, s := range spans {
+		lines := map[int]bool{}
+		for _, c := range touched {
+			if int(c) >= s.Lo && int(c) < s.Hi {
+				lines[int(c)/8] = true
+			}
+		}
+		if len(lines) > 2 {
+			t.Errorf("span %+v touches %d lines, budget 2", s, len(lines))
+		}
+	}
+}
+
+func TestSpansByLineBudgetDegenerate(t *testing.T) {
+	if got := SpansByLineBudget(100, 8, 0, []int32{1}); len(got) != 1 || got[0] != (ColumnSpan{0, 100}) {
+		t.Errorf("zero budget: %+v", got)
+	}
+	if got := SpansByLineBudget(100, 8, 4, nil); len(got) != 1 {
+		t.Errorf("no touched columns: %+v", got)
+	}
+}
+
+func TestQuickSpansTile(t *testing.T) {
+	f := func(seed int64, budget8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(500)
+		nt := rng.Intn(cols)
+		seen := map[int32]bool{}
+		var touched []int32
+		for i := 0; i < nt; i++ {
+			c := int32(rng.Intn(cols))
+			if !seen[c] {
+				seen[c] = true
+				touched = append(touched, c)
+			}
+		}
+		// must be sorted
+		for i := 1; i < len(touched); i++ {
+			for j := i; j > 0 && touched[j] < touched[j-1]; j-- {
+				touched[j], touched[j-1] = touched[j-1], touched[j]
+			}
+		}
+		spans := SpansByLineBudget(cols, 8, int(budget8%10)+1, touched)
+		at := 0
+		for _, s := range spans {
+			if s.Lo != at || s.Hi <= s.Lo {
+				return false
+			}
+			at = s.Hi
+		}
+		return at == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedWidthSpans(t *testing.T) {
+	spans := FixedWidthSpans(10, 4)
+	want := []ColumnSpan{{0, 4}, {4, 8}, {8, 10}}
+	if len(spans) != len(want) {
+		t.Fatalf("got %+v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+	if got := FixedWidthSpans(10, 0); len(got) != 1 {
+		t.Errorf("width 0: %+v", got)
+	}
+	if got := FixedWidthSpans(10, 100); len(got) != 1 {
+		t.Errorf("oversize width: %+v", got)
+	}
+}

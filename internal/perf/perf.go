@@ -1,0 +1,313 @@
+// Package perf is the execution-time model of the reproduction: it
+// combines per-thread traffic summaries (internal/traffic) with a machine
+// parameter sheet (internal/machine) to estimate SpMV runtime on the 2007
+// testbed, the substitution for measuring real hardware documented in
+// DESIGN.md.
+//
+// The model is a bounded-overlap ("roofline-style") composition of four
+// terms, each grounded in an analysis the paper performs explicitly:
+//
+//		T = max(T_dram, T_compute + T_rows, T_stall)
+//
+//	  - T_dram: DRAM bytes over sustained bandwidth. Sustained bandwidth
+//	    follows the empirical rule visible in Table 4: per-thread sustained
+//	    streams add linearly until the socket's sustained ceiling, sockets
+//	    add (under NUMA-aware placement) until the system ceiling.
+//	  - T_compute: executed flops (including register-block fill) over
+//	    derated peak flops — the §6.1 "in-cache sanity check" ceiling.
+//	  - T_rows: loop startup / branch mispredict per (block) row, the §5.1
+//	    short-row penalty.
+//	  - T_stall: per-element memory stalls visible to in-order cores,
+//	    divided by hardware threads — the §6.1 Niagara latency analysis.
+//
+// Every constant in the model comes from Table 1, Table 4, or a sentence
+// of the paper quoted at its definition in internal/machine.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/traffic"
+)
+
+// Config describes one experimental configuration: which machine, how much
+// of it, and which code optimizations are active.
+type Config struct {
+	M *machine.Machine
+	// CoresPerSocketUsed and SocketsUsed select the parallel level
+	// (1/1 = single core; CoresPerSocket/1 = full socket; .../Sockets =
+	// full system).
+	CoresPerSocketUsed int
+	SocketsUsed        int
+	// ThreadsPerCoreUsed engages hardware thread contexts (Niagara 1/2/4).
+	ThreadsPerCoreUsed int
+	// NUMAAware places each thread's matrix block on its own socket's
+	// controller; false models first-touch-on-node-0 (or the Cell blade's
+	// page interleaving, via the machine's system bandwidth fraction).
+	NUMAAware bool
+	// SoftwarePrefetch enables the PF code optimization.
+	SoftwarePrefetch bool
+	// OptimizedKernel selects the generated (unrolled, pipelined, single
+	// loop variable) kernel rather than the naive nested loop.
+	OptimizedKernel bool
+}
+
+// Threads returns the total hardware threads engaged.
+func (c Config) Threads() int {
+	t := c.CoresPerSocketUsed * c.SocketsUsed
+	if c.ThreadsPerCoreUsed > 1 {
+		t *= c.ThreadsPerCoreUsed
+	}
+	return t
+}
+
+// Cores returns the total cores engaged.
+func (c Config) Cores() int { return c.CoresPerSocketUsed * c.SocketsUsed }
+
+// Validate checks the configuration against the machine's limits.
+func (c Config) Validate() error {
+	if c.M == nil {
+		return fmt.Errorf("perf: nil machine")
+	}
+	if c.CoresPerSocketUsed < 1 || c.CoresPerSocketUsed > c.M.CoresPerSocket {
+		return fmt.Errorf("perf: %d cores/socket on %s (max %d)",
+			c.CoresPerSocketUsed, c.M.Name, c.M.CoresPerSocket)
+	}
+	if c.SocketsUsed < 1 || c.SocketsUsed > c.M.Sockets {
+		return fmt.Errorf("perf: %d sockets on %s (max %d)",
+			c.SocketsUsed, c.M.Name, c.M.Sockets)
+	}
+	if c.ThreadsPerCoreUsed > c.M.ThreadsPerCore {
+		return fmt.Errorf("perf: %d threads/core on %s (max %d)",
+			c.ThreadsPerCoreUsed, c.M.Name, c.M.ThreadsPerCore)
+	}
+	return nil
+}
+
+// Estimate is the model's output for one configuration.
+type Estimate struct {
+	Seconds float64
+	GFlops  float64 // useful Gflop/s: 2·nnz / Seconds (the paper's metric)
+	GBs     float64 // sustained DRAM bandwidth achieved
+	// Bound names the binding term: "dram", "compute", or "stall".
+	Bound string
+	// Term breakdown (seconds).
+	DRAMSec    float64
+	ComputeSec float64
+	StallSec   float64
+	// SustainedBW is the model's available bandwidth for this config (GB/s).
+	SustainedBW float64
+	// MflopsPerWatt is full-system power efficiency (Figure 2b); it uses
+	// total system watts regardless of how much of the system is engaged,
+	// matching the paper's methodology.
+	MflopsPerWatt float64
+}
+
+// SustainedGBs returns the deliverable DRAM bandwidth for a configuration:
+// per-thread sustained streams accumulate up to the socket ceiling; sockets
+// accumulate (NUMA-aware) up to the system ceiling; without NUMA awareness
+// on a NUMA machine all traffic is served by one socket.
+func SustainedGBs(c Config) float64 {
+	m := c.M
+	perSocketPeak := m.MemCtrl.PerSocketGBs
+	fracCore := m.SustainedBWFracCore
+	if !c.SoftwarePrefetch && m.PFBWBoost > 1 {
+		fracCore /= m.PFBWBoost
+	}
+	threadsPerSocket := c.CoresPerSocketUsed
+	if c.ThreadsPerCoreUsed > 1 {
+		threadsPerSocket *= c.ThreadsPerCoreUsed
+	}
+	socketFrac := float64(threadsPerSocket) * fracCore
+	if socketFrac > m.SustainedBWFracSocket {
+		socketFrac = m.SustainedBWFracSocket
+	}
+	socketBW := socketFrac * perSocketPeak
+	if c.SocketsUsed <= 1 {
+		return socketBW
+	}
+	if !m.NUMA {
+		// UMA: sockets share the chipset; the system ceiling governs.
+		sys := m.SustainedBWFracSystem * m.PeakBWSystem()
+		agg := socketBW * float64(c.SocketsUsed)
+		if agg > sys {
+			return sys
+		}
+		return agg
+	}
+	if !c.NUMAAware {
+		// All pages on node 0: remote cores add at most the coherent-link
+		// bandwidth, and in practice the paper observes single-socket-like
+		// throughput; model it as the one home socket's sustained stream.
+		return socketBW
+	}
+	agg := socketBW * float64(c.SocketsUsed)
+	sys := m.SustainedBWFracSystem * m.PeakBWSystem()
+	if agg > sys {
+		return sys
+	}
+	return agg
+}
+
+// Model estimates execution time for per-thread traffic summaries. The
+// slowest thread bounds each term (static row partitioning has no work
+// stealing), so imbalanced partitions — OSKI-PETSc's equal-rows — are
+// penalized exactly as §6.2 describes.
+func Model(c Config, perThread []traffic.Summary) (Estimate, error) {
+	if err := c.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(perThread) == 0 {
+		return Estimate{}, fmt.Errorf("perf: no traffic summaries")
+	}
+	m := c.M
+	clockHz := m.ClockGHz * 1e9
+
+	var total traffic.Summary
+	var maxBytes int64
+	var maxTiles, maxStored, maxRows int64
+	for _, s := range perThread {
+		total.MatrixBytes += s.MatrixBytes
+		total.SourceBytes += s.SourceBytes
+		total.DestBytes += s.DestBytes
+		total.Flops += s.Flops
+		total.StoredFlops += s.StoredFlops
+		total.Tiles += s.Tiles
+		total.LoopRows += s.LoopRows
+		if b := s.TotalBytes(); b > maxBytes {
+			maxBytes = b
+		}
+		if s.Tiles > maxTiles {
+			maxTiles = s.Tiles
+		}
+		if s.StoredFlops > maxStored {
+			maxStored = s.StoredFlops
+		}
+		if s.LoopRows > maxRows {
+			maxRows = s.LoopRows
+		}
+	}
+	nThreads := len(perThread)
+
+	// T_dram: the slowest thread's bytes through its 1/n share of the
+	// sustained bandwidth.
+	bw := SustainedGBs(c) * 1e9 // bytes/s
+	dramSec := float64(maxBytes) * float64(nThreads) / bw
+
+	// T_compute: executed flops on the engaged cores, derated for the
+	// kernel's instruction mix, plus per-(block)row loop overhead. The
+	// slowest thread again governs; threads beyond one per core do not add
+	// issue slots (Niagara's contexts share the core's single issue port).
+	eff := m.KernelEfficiency
+	if !c.OptimizedKernel {
+		eff *= m.KernelEffNaiveFactor
+	}
+	coreFlopsPerSec := m.PeakGFlopsCore() * 1e9 * eff
+	threadsPerCore := 1
+	if c.ThreadsPerCoreUsed > 1 {
+		threadsPerCore = c.ThreadsPerCoreUsed
+	}
+	// Flops executed by the busiest core = busiest thread × threads/core.
+	computeSec := float64(maxStored) * float64(threadsPerCore) / coreFlopsPerSec
+	rowOverhead := m.RowOverheadCyc
+	if c.OptimizedKernel && m.BranchlessWins {
+		rowOverhead *= 0.6 // branchless / pipelined inner loops
+	}
+	computeSec += float64(maxRows) * float64(threadsPerCore) * rowOverhead / clockHz
+
+	// T_stall: visible memory stalls per element for in-order cores,
+	// hidden proportionally by hardware thread interleave.
+	stallSec := 0.0
+	if m.StallCycPerElem > 0 {
+		stall := m.StallCycPerElem
+		if c.OptimizedKernel {
+			stall *= 0.9 // software pipelining overlaps some latency
+		}
+		// maxTiles is per-thread; threads on different cores proceed in
+		// parallel, and the contexts sharing a core interleave their
+		// stalls, dividing the visible latency by threadsPerCore.
+		stallSec = float64(maxTiles) * stall / clockHz / float64(threadsPerCore)
+	}
+
+	sec := dramSec
+	bound := "dram"
+	if computeSec > sec {
+		sec = computeSec
+		bound = "compute"
+	}
+	if stallSec > sec {
+		sec = stallSec
+		bound = "stall"
+	}
+
+	est := Estimate{
+		Seconds:     sec,
+		DRAMSec:     dramSec,
+		ComputeSec:  computeSec,
+		StallSec:    stallSec,
+		Bound:       bound,
+		SustainedBW: bw / 1e9,
+	}
+	if sec > 0 {
+		est.GFlops = float64(total.Flops) / sec / 1e9
+		est.GBs = float64(total.MatrixBytes+total.SourceBytes+total.DestBytes) / sec / 1e9
+		est.MflopsPerWatt = est.GFlops * 1e3 / m.TotalPowerWatts
+	}
+	return est, nil
+}
+
+// SourceCapacityLines returns the cache lines available to hold source-
+// vector data for one thread on this configuration: its share of the L2
+// (or local store) times a utilization factor, in lines. This is what the
+// traffic analysis should be run with.
+func SourceCapacityLines(c Config) int {
+	m := c.M
+	const utilization = 0.5 // vectors share the cache with the streams
+	var bytesPerThread float64
+	switch {
+	case m.Kind == machine.LocalStore:
+		// 256KB local store: the Cell code dedicates roughly half to
+		// double-buffered source blocks.
+		bytesPerThread = float64(m.L1.Bytes) * utilization
+	case m.L2.Shared:
+		sharing := m.L2.SharedWays
+		if sharing == 0 {
+			sharing = m.CoresPerSocket
+		}
+		coresOnCache := c.CoresPerSocketUsed
+		if coresOnCache > sharing {
+			coresOnCache = sharing
+		}
+		threads := coresOnCache
+		if c.ThreadsPerCoreUsed > 1 {
+			threads *= c.ThreadsPerCoreUsed
+		}
+		bytesPerThread = float64(m.L2.Bytes) * utilization / float64(threads)
+	default:
+		bytesPerThread = float64(m.L2.Bytes) * utilization
+	}
+	line := m.L2.LineBytes
+	if line == 0 {
+		line = m.L1.LineBytes
+	}
+	n := int(bytesPerThread) / line
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TrafficOptions builds the traffic-analysis options for one thread of a
+// configuration.
+func TrafficOptions(c Config) traffic.Options {
+	line := c.M.L2.LineBytes
+	if line == 0 {
+		line = c.M.L1.LineBytes
+	}
+	return traffic.Options{
+		LineBytes:           line,
+		SourceCapacityLines: SourceCapacityLines(c),
+		DenseSourceBlocks:   c.M.Kind == machine.LocalStore,
+	}
+}

@@ -1,0 +1,303 @@
+// Package petsc is an executable reproduction of the distributed-memory
+// SpMV the paper benchmarks as its parallel baseline: PETSc's MPIAIJ
+// MatMult over the mpi substrate, with the serial per-rank kernel
+// optionally tuned by OSKI ("OSKI-PETSc", §2.1).
+//
+// The structure follows PETSc:
+//
+//   - 1-D block-row distribution with equal numbers of rows per process by
+//     default (the default the paper calls out for its load-imbalance
+//     failure mode);
+//   - the local matrix split into a "diagonal" block (columns owned by
+//     this rank's slice of x) and an "off-diagonal" block whose columns
+//     are compressed to a ghost index space;
+//   - a static VecScatter: each multiply sends exactly the x entries other
+//     ranks' off-diagonal blocks reference, through the byte-counted
+//     copy-based transport of internal/mpi.
+//
+// internal/oski models this baseline analytically for the performance
+// study; this package exists to run it for real (correctness, comm-volume
+// cross-checks, and host measurements).
+package petsc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// EncodeFunc turns a rank's local block into an encoded matrix. The
+// default (nil) keeps CSR32; pass an OSKI tuner for OSKI-PETSc.
+type EncodeFunc func(*matrix.CSR32) (matrix.Format, error)
+
+// Mat is a distributed sparse matrix ready for repeated multiplication.
+type Mat struct {
+	world      *mpi.World
+	rows, cols int
+	rowRanges  *partition.Partition // y ownership
+	colRanges  *partition.Partition // x ownership
+	locals     []*localMat
+}
+
+// localMat is one rank's share.
+type localMat struct {
+	rank      int
+	rowLo     int
+	rowHi     int
+	colLo     int
+	colHi     int
+	diag      kernel.Kernel // nil when empty
+	off       kernel.Kernel // nil when empty; columns renumbered to ghost space
+	ghosts    []int32       // sorted global columns the off block references
+	sendTo    [][]int32     // per destination rank: LOCAL x indices to ship
+	recvFrom  []int         // per source rank: number of ghost entries
+	ghostBase []int         // prefix offsets of each source rank's ghosts
+}
+
+// rowPtrOf builds a CSR row pointer from per-row counts of a COO.
+func ownerOf(p *partition.Partition, idx int) int {
+	// Ranges are contiguous and ordered; binary search the owner.
+	lo, hi := 0, len(p.Ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := p.Ranges[mid]
+		switch {
+		case idx < r.Lo:
+			hi = mid
+		case idx >= r.Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// NewMat distributes csr across the world with equal-rows (and equal-cols
+// for x) ownership and builds the static scatter.
+func NewMat(csr *matrix.CSR32, world *mpi.World, encode EncodeFunc) (*Mat, error) {
+	n := world.Size()
+	rowRanges, err := partition.EqualRows(csr.RowPtr, n)
+	if err != nil {
+		return nil, err
+	}
+	// x is distributed by columns, equal split (PETSc: the vector layout).
+	colPtr := make([]int64, csr.C+1) // synthetic uniform "row pointer" over columns
+	for i := range colPtr {
+		colPtr[i] = int64(i)
+	}
+	colRanges, err := partition.EqualRows(colPtr, n)
+	if err != nil {
+		return nil, err
+	}
+	if encode == nil {
+		encode = func(c *matrix.CSR32) (matrix.Format, error) { return c, nil }
+	}
+
+	m := &Mat{world: world, rows: csr.R, cols: csr.C,
+		rowRanges: rowRanges, colRanges: colRanges}
+
+	// Build each rank's diag/off split.
+	for rank := 0; rank < n; rank++ {
+		rr := rowRanges.Ranges[rank]
+		cr := colRanges.Ranges[rank]
+		lm := &localMat{rank: rank, rowLo: rr.Lo, rowHi: rr.Hi, colLo: cr.Lo, colHi: cr.Hi}
+
+		diag := matrix.NewCOO(rr.Rows(), cr.Hi-cr.Lo)
+		ghostSet := map[int32]bool{}
+		type entry struct {
+			r, c int32
+			v    float64
+		}
+		var offEntries []entry
+		for i := rr.Lo; i < rr.Hi; i++ {
+			for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
+				c := int(csr.Col[k])
+				if c >= cr.Lo && c < cr.Hi {
+					if err := diag.Append(i-rr.Lo, c-cr.Lo, csr.Val[k]); err != nil {
+						return nil, err
+					}
+				} else {
+					ghostSet[int32(c)] = true
+					offEntries = append(offEntries, entry{int32(i - rr.Lo), int32(c), csr.Val[k]})
+				}
+			}
+		}
+		lm.ghosts = make([]int32, 0, len(ghostSet))
+		for c := range ghostSet {
+			lm.ghosts = append(lm.ghosts, c)
+		}
+		sort.Slice(lm.ghosts, func(a, b int) bool { return lm.ghosts[a] < lm.ghosts[b] })
+		ghostIdx := make(map[int32]int32, len(lm.ghosts))
+		for i, c := range lm.ghosts {
+			ghostIdx[c] = int32(i)
+		}
+		off := matrix.NewCOO(rr.Rows(), len(lm.ghosts))
+		for _, e := range offEntries {
+			if err := off.Append(int(e.r), int(ghostIdx[e.c]), e.v); err != nil {
+				return nil, err
+			}
+		}
+
+		if diag.NNZ() > 0 {
+			dcsr, err := matrix.NewCSR[uint32](diag)
+			if err != nil {
+				return nil, err
+			}
+			enc, err := encode(dcsr)
+			if err != nil {
+				return nil, err
+			}
+			lm.diag, err = kernel.Compile(enc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if off.NNZ() > 0 {
+			ocsr, err := matrix.NewCSR[uint32](off)
+			if err != nil {
+				return nil, err
+			}
+			enc, err := encode(ocsr)
+			if err != nil {
+				return nil, err
+			}
+			lm.off, err = kernel.Compile(enc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m.locals = append(m.locals, lm)
+	}
+
+	// Build the static scatter lists: for each (receiver, owner) pair, the
+	// owner ships the receiver's ghost columns that it owns, in the
+	// receiver's ghost order.
+	for _, lm := range m.locals {
+		lm.sendTo = make([][]int32, n)
+		lm.recvFrom = make([]int, n)
+		lm.ghostBase = make([]int, n+1)
+	}
+	for _, recv := range m.locals {
+		// Group the receiver's ghosts by owner; ghosts are sorted, and
+		// ownership ranges are contiguous, so groups are contiguous runs.
+		for _, g := range recv.ghosts {
+			owner := ownerOf(m.colRanges, int(g))
+			if owner < 0 {
+				return nil, fmt.Errorf("petsc: column %d unowned", g)
+			}
+			ownerLocal := g - int32(m.locals[owner].colLo)
+			m.locals[owner].sendTo[recv.rank] = append(m.locals[owner].sendTo[recv.rank], ownerLocal)
+			recv.recvFrom[owner]++
+		}
+		for o := 0; o < n; o++ {
+			recv.ghostBase[o+1] = recv.ghostBase[o] + recv.recvFrom[o]
+		}
+	}
+	return m, nil
+}
+
+// Dims returns the global dimensions.
+func (m *Mat) Dims() (int, int) { return m.rows, m.cols }
+
+// CommBytes reports the cumulative transport bytes (sender-side copies)
+// since the world was created.
+func (m *Mat) CommBytes() int64 { return m.world.BytesCopied() }
+
+// Mul computes y = A·x, scattering the global x and gathering the global
+// y through the distributed ranks. It is deterministic: each y element has
+// exactly one writer.
+func (m *Mat) Mul(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("petsc: len(x)=%d, want %d", len(x), m.cols)
+	}
+	y := make([]float64, m.rows)
+	err := m.world.Run(func(r *mpi.Rank) error {
+		lm := m.locals[r.ID()]
+		xLocal := x[lm.colLo:lm.colHi]
+
+		// Post all sends (ch_shmem: the payload is packed/copied here).
+		const tagScatter = 7
+		for dst, list := range lm.sendTo {
+			if len(list) == 0 {
+				continue
+			}
+			buf := make([]float64, len(list))
+			for i, li := range list {
+				buf[i] = xLocal[li]
+			}
+			if err := r.Send(dst, tagScatter, buf); err != nil {
+				return err
+			}
+		}
+		// Receive ghosts in rank order (matches ghost sort order because
+		// ownership ranges are ascending in the column space).
+		ghostX := make([]float64, len(lm.ghosts))
+		for src := 0; src < r.Size(); src++ {
+			cnt := lm.recvFrom[src]
+			if cnt == 0 {
+				continue
+			}
+			if err := r.Recv(src, tagScatter, ghostX[lm.ghostBase[src]:lm.ghostBase[src+1]]); err != nil {
+				return err
+			}
+		}
+
+		yLocal := y[lm.rowLo:lm.rowHi]
+		if lm.diag != nil {
+			if err := lm.diag.MulAdd(yLocal, xLocal); err != nil {
+				return err
+			}
+		}
+		if lm.off != nil {
+			if err := lm.off.MulAdd(yLocal, ghostX); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// GhostCounts returns, per rank, how many external x entries its
+// off-diagonal block references — the quantity the analytic model charges
+// as communication (oski.ModelPETSc).
+func (m *Mat) GhostCounts() []int {
+	out := make([]int, len(m.locals))
+	for i, lm := range m.locals {
+		out[i] = len(lm.ghosts)
+	}
+	return out
+}
+
+// NNZShare returns each rank's share of the global nonzeros (the load-
+// imbalance diagnostic of §6.2).
+func (m *Mat) NNZShare() []float64 {
+	var total int64
+	counts := make([]int64, len(m.locals))
+	for i, lm := range m.locals {
+		if lm.diag != nil {
+			counts[i] += lm.diag.Format().NNZ()
+		}
+		if lm.off != nil {
+			counts[i] += lm.off.Format().NNZ()
+		}
+		total += counts[i]
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

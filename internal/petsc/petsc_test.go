@@ -1,0 +1,279 @@
+package petsc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/oski"
+)
+
+func fillRandom(m *matrix.COO, rng *rand.Rand, n int) *matrix.COO {
+	type pos struct{ r, c int32 }
+	seen := make(map[pos]bool, n)
+	for len(m.Val) < n {
+		r := int32(rng.Intn(m.R))
+		c := int32(rng.Intn(m.C))
+		if seen[pos{r, c}] {
+			continue
+		}
+		seen[pos{r, c}] = true
+		m.RowIdx = append(m.RowIdx, r)
+		m.ColIdx = append(m.ColIdx, c)
+		m.Val = append(m.Val, rng.NormFloat64())
+	}
+	return m
+}
+
+func reference(m *matrix.COO, x []float64) []float64 {
+	y := make([]float64, m.R)
+	for k := range m.Val {
+		y[m.RowIdx[k]] += m.Val[k] * x[m.ColIdx[k]]
+	}
+	return y
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{100, 100}, {37, 211}, {211, 37}, {64, 64}} {
+		m := fillRandom(matrix.NewCOO(dims[0], dims[1]), rng, dims[0]*6)
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, dims[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := reference(m, x)
+		for _, procs := range []int{1, 2, 3, 4, 7} {
+			world, err := mpi.NewWorld(procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat, err := NewMat(csr, world, nil)
+			if err != nil {
+				t.Fatalf("%v procs=%d: %v", dims, procs, err)
+			}
+			got, err := mat.Mul(x)
+			if err != nil {
+				t.Fatalf("%v procs=%d: %v", dims, procs, err)
+			}
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("%v procs=%d row %d: %g vs %g", dims, procs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOSKITunedLocalBlocks(t *testing.T) {
+	m, err := gen.GenerateByName("FEM/Cantilever", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, _ := matrix.NewCSR[uint32](m)
+	x := make([]float64, csr.C)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := reference(m, x)
+
+	world, _ := mpi.NewWorld(4)
+	am := machine.AMDX2()
+	mat, err := NewMat(csr, world, func(c *matrix.CSR32) (matrix.Format, error) {
+		tn, err := oski.TuneSerial(c, am)
+		if err != nil {
+			return nil, err
+		}
+		return tn.Enc, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mat.Mul(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("OSKI-PETSc row %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommBytesCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := fillRandom(matrix.NewCOO(120, 120), rng, 2000)
+	csr, _ := matrix.NewCSR[uint32](m)
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = 1
+	}
+	// Single process: no communication.
+	w1, _ := mpi.NewWorld(1)
+	m1, err := NewMat(csr, w1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Mul(x); err != nil {
+		t.Fatal(err)
+	}
+	if m1.CommBytes() != 0 {
+		t.Errorf("1-process comm bytes %d, want 0", m1.CommBytes())
+	}
+	// Four processes: comm equals 8 bytes per ghost entry per multiply.
+	w4, _ := mpi.NewWorld(4)
+	m4, err := NewMat(csr, w4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m4.Mul(x); err != nil {
+		t.Fatal(err)
+	}
+	var ghosts int64
+	for _, g := range m4.GhostCounts() {
+		ghosts += int64(g)
+	}
+	if ghosts == 0 {
+		t.Fatal("random 120x120 over 4 ranks should have ghost columns")
+	}
+	if m4.CommBytes() != 8*ghosts {
+		t.Errorf("comm bytes %d, want %d (8 per ghost)", m4.CommBytes(), 8*ghosts)
+	}
+	// Second multiply doubles the cumulative count (static scatter).
+	if _, err := m4.Mul(x); err != nil {
+		t.Fatal(err)
+	}
+	if m4.CommBytes() != 16*ghosts {
+		t.Errorf("cumulative comm bytes %d, want %d", m4.CommBytes(), 16*ghosts)
+	}
+}
+
+func TestGhostCountsMatchAnalyticModel(t *testing.T) {
+	// The executable scatter and the analytic oski model must agree on the
+	// external-column counts... but note the analytic model uses row-range
+	// ownership of x while PETSc distributes x by equal columns; for
+	// square matrices with equal splits the two coincide.
+	m, err := gen.GenerateByName("Economics", 0.005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, _ := matrix.NewCSR[uint32](m)
+	world, _ := mpi.NewWorld(4)
+	mat, err := NewMat(csr, world, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := mat.GhostCounts()
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("scatter found no ghosts on a scatter matrix")
+	}
+	est, err := oski.ModelPETSc(csr, machine.AMDX2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model charges 2x8 bytes per external column (pack+unpack).
+	modelGhosts := est.CommBytes / 16
+	ratio := float64(total) / float64(modelGhosts)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("executable ghosts %d vs modeled %d (ratio %.2f)", total, modelGhosts, ratio)
+	}
+}
+
+func TestNNZShareImbalance(t *testing.T) {
+	// Skewed matrix: equal-rows puts most nonzeros on rank 0.
+	m := matrix.NewCOO(400, 400)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 30; j++ {
+			_ = m.Append(i, rng.Intn(400), rng.NormFloat64())
+		}
+	}
+	for i := 100; i < 400; i++ {
+		_ = m.Append(i, i, 1)
+	}
+	csr, _ := matrix.NewCSR[uint32](m)
+	world, _ := mpi.NewWorld(4)
+	mat, err := NewMat(csr, world, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := mat.NNZShare()
+	if share[0] < 0.4 {
+		t.Errorf("rank 0 share %.2f, want >= 0.4 (equal-rows imbalance)", share[0])
+	}
+	var sum float64
+	for _, s := range share {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %f", sum)
+	}
+}
+
+func TestMulValidatesLength(t *testing.T) {
+	m := matrix.NewCOO(4, 4)
+	_ = m.Append(0, 0, 1)
+	csr, _ := matrix.NewCSR[uint32](m)
+	world, _ := mpi.NewWorld(2)
+	mat, err := NewMat(csr, world, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mat.Mul(make([]float64, 3)); err == nil {
+		t.Error("wrong-length x accepted")
+	}
+}
+
+// Property: the distributed product matches the serial reference for
+// arbitrary matrices and world sizes.
+func TestQuickDistributedCorrectness(t *testing.T) {
+	f := func(seed int64, procs8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(50), 1+rng.Intn(50)
+		m := fillRandom(matrix.NewCOO(rows, cols), rng, rng.Intn(rows*cols+1))
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			return false
+		}
+		procs := int(procs8%6) + 1
+		world, err := mpi.NewWorld(procs)
+		if err != nil {
+			return false
+		}
+		mat, err := NewMat(csr, world, nil)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := mat.Mul(x)
+		if err != nil {
+			return false
+		}
+		want := reference(m, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

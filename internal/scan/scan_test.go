@@ -1,0 +1,218 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestSegmentedSum(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got, err := SegmentedSumInto(nil, vals, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 12}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("segment %d: %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Implicit first segment when flags[0] is false.
+	got2, err := SegmentedSumInto(nil, []float64{1, 1}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 || got2[0] != 2 {
+		t.Errorf("implicit first segment: %v", got2)
+	}
+	// Empty input.
+	got3, err := SegmentedSumInto(nil, nil, nil)
+	if err != nil || len(got3) != 0 {
+		t.Errorf("empty: %v %v", got3, err)
+	}
+	// Length mismatch.
+	if _, err := SegmentedSumInto(nil, []float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	flags := []bool{true, false, true, false}
+	got, err := InclusiveScan(vals, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan %v, want %v", got, want)
+			break
+		}
+	}
+	if _, err := InclusiveScan([]float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func fillRandom(m *matrix.COO, rng *rand.Rand, n int) *matrix.COO {
+	if max := m.R * m.C; n > max {
+		n = max // cannot place more distinct positions than exist
+	}
+	type pos struct{ r, c int32 }
+	seen := make(map[pos]bool, n)
+	for len(m.Val) < n {
+		r := int32(rng.Intn(m.R))
+		c := int32(rng.Intn(m.C))
+		if seen[pos{r, c}] {
+			continue
+		}
+		seen[pos{r, c}] = true
+		m.RowIdx = append(m.RowIdx, r)
+		m.ColIdx = append(m.ColIdx, c)
+		m.Val = append(m.Val, rng.NormFloat64())
+	}
+	return m
+}
+
+func TestKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{50, 70}, {1, 10}, {10, 1}, {100, 100}} {
+		m := fillRandom(matrix.NewCOO(dims[0], dims[1]), rng, dims[0]*3)
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := NewKernel(csr)
+		x := make([]float64, dims[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, dims[0])
+		if err := m.MulAdd(want, x); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, dims[0])
+		if err := k.MulAdd(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v row %d: %g vs %g", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKernelEmptyRowsAndMatrix(t *testing.T) {
+	// Rows 0, 2, 4 empty.
+	m := matrix.NewCOO(5, 5)
+	_ = m.Append(1, 0, 2)
+	_ = m.Append(3, 3, 4)
+	csr, _ := matrix.NewCSR[uint32](m)
+	k := NewKernel(csr)
+	y := make([]float64, 5)
+	if err := k.MulAdd(y, []float64{1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 0, 4, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y = %v", y)
+			break
+		}
+	}
+	empty := matrix.NewCOO(3, 3)
+	ecsr, _ := matrix.NewCSR[uint32](empty)
+	ek := NewKernel(ecsr)
+	ey := make([]float64, 3)
+	if err := ek.MulAdd(ey, make([]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ek.MulAdd(make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Error("short y accepted")
+	}
+}
+
+// Property: segmented sum over per-row flags equals per-row sums.
+func TestQuickSegmentedSumEqualsRowSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(40)
+		m := fillRandom(matrix.NewCOO(rows, 30), rng, rng.Intn(rows*5+1))
+		csr, err := matrix.NewCSR[uint32](m)
+		if err != nil {
+			return false
+		}
+		k := NewKernel(csr)
+		x := make([]float64, 30)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		_ = m.MulAdd(want, x)
+		got := make([]float64, rows)
+		if k.MulAdd(got, x) != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InclusiveScan's last element of each segment equals the
+// segment sum.
+func TestQuickScanConsistentWithSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		vals := make([]float64, n)
+		flags := make([]bool, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			flags[i] = rng.Intn(4) == 0
+		}
+		scanned, err := InclusiveScan(vals, flags)
+		if err != nil {
+			return false
+		}
+		sums, err := SegmentedSumInto(nil, vals, flags)
+		if err != nil {
+			return false
+		}
+		// Collect last element of each segment from the scan.
+		var lasts []float64
+		for i := 0; i < n; i++ {
+			if i+1 == n || flags[i+1] {
+				lasts = append(lasts, scanned[i])
+			}
+		}
+		if len(lasts) != len(sums) {
+			return false
+		}
+		for i := range sums {
+			if math.Abs(lasts[i]-sums[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package sim is the trace-driven platform simulator: it lays the encoded
+// matrix and the vectors out in a synthetic address space, replays the
+// exact address stream each kernel issues (values, indices, row pointers,
+// source gathers, destination updates), and drives it through the
+// set-associative cache and TLB models of internal/cache built from a
+// machine's Table-1 geometry.
+//
+// Its two roles in the reproduction:
+//
+//   - Cross-validation: the fast working-set-window traffic model
+//     (internal/traffic) that powers the experiment harness is checked
+//     against this exact simulation on small matrices — see sim_test.go.
+//     Where the window model is a bound, the simulator is ground truth.
+//
+//   - TLB accounting: the §4.2 TLB-blocking heuristic is validated by
+//     measuring page misses with and without blocking.
+//
+// Full-suite experiments use the analytic model instead because replaying
+// ~60M-nonzero traces through a multi-level simulator for every (matrix,
+// machine, config) cell is orders of magnitude slower with the same
+// decision-relevant outcome.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+// Layout assigns base addresses to each array of an SpMV instance,
+// mirroring a contiguous heap allocation with 64-byte alignment.
+type Layout struct {
+	RowPtr, Col, Val uint64 // matrix structure arrays
+	BRow             uint64 // BCOO tile-row array
+	X, Y             uint64 // vectors
+	End              uint64
+}
+
+// layoutFor computes the address layout for an encoding with the given
+// vector lengths.
+func layoutFor(enc matrix.Format, rows, cols int) Layout {
+	const align = 64
+	next := uint64(align) // leave address 0 unused
+	place := func(bytes int64) uint64 {
+		base := next
+		next += uint64((bytes + align - 1) / align * align)
+		return base
+	}
+	var l Layout
+	switch m := enc.(type) {
+	case *matrix.CSR16:
+		l.RowPtr = place(int64(len(m.RowPtr)) * 8)
+		l.Col = place(int64(len(m.Col)) * 2)
+		l.Val = place(int64(len(m.Val)) * 8)
+	case *matrix.CSR32:
+		l.RowPtr = place(int64(len(m.RowPtr)) * 8)
+		l.Col = place(int64(len(m.Col)) * 4)
+		l.Val = place(int64(len(m.Val)) * 8)
+	case *matrix.BCSR[uint16]:
+		l.RowPtr = place(int64(len(m.RowPtr)) * 8)
+		l.Col = place(m.Blocks() * 2)
+		l.Val = place(int64(len(m.Val)) * 8)
+	case *matrix.BCSR[uint32]:
+		l.RowPtr = place(int64(len(m.RowPtr)) * 8)
+		l.Col = place(m.Blocks() * 4)
+		l.Val = place(int64(len(m.Val)) * 8)
+	case *matrix.BCOO[uint16]:
+		l.BRow = place(m.Blocks() * 2)
+		l.Col = place(m.Blocks() * 2)
+		l.Val = place(int64(len(m.Val)) * 8)
+	case *matrix.BCOO[uint32]:
+		l.BRow = place(m.Blocks() * 4)
+		l.Col = place(m.Blocks() * 4)
+		l.Val = place(int64(len(m.Val)) * 8)
+	}
+	l.X = place(int64(cols) * 8)
+	l.Y = place(int64(rows) * 8)
+	l.End = next
+	return l
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	L1, L2    cache.Stats
+	TLB       cache.Stats
+	DRAMBytes int64 // bytes transferred to/from DRAM (last-level misses + writebacks)
+	Accesses  int64
+}
+
+// Hierarchy is the simulated cache stack for one core.
+type Hierarchy struct {
+	L1  *cache.Cache
+	L2  *cache.Cache
+	TLB *cache.TLB
+}
+
+// NewHierarchy builds the cache stack from a machine sheet. The Cell local
+// store is not a cache; LocalStore machines get only a TLB (DMA traffic is
+// modeled analytically).
+func NewHierarchy(m *machine.Machine) (*Hierarchy, error) {
+	h := &Hierarchy{}
+	var err error
+	if m.Kind != machine.LocalStore {
+		h.L1, err = cache.New(m.L1.Bytes, m.L1.LineBytes, m.L1.Assoc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: L1: %w", err)
+		}
+		h.L2, err = cache.New(m.L2.Bytes, m.L2.LineBytes, m.L2.Assoc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: L2: %w", err)
+		}
+		h.L1.NextLevel = h.L2
+	}
+	if m.TLB.PageBytes > 0 && m.TLB.L1Entries > 0 {
+		h.TLB, err = cache.NewTLB(m.TLB.PageBytes, m.TLB.L1Entries)
+		if err != nil {
+			return nil, fmt.Errorf("sim: TLB: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// access sends one reference through the hierarchy.
+func (h *Hierarchy) access(addr uint64, size int, write bool) {
+	if h.L1 != nil {
+		h.L1.Access(addr, size, write)
+	}
+	if h.TLB != nil {
+		h.TLB.Access(addr, size)
+	}
+}
+
+// Run replays the kernel address stream for an encoding through the
+// hierarchy and returns the resulting statistics. Supported encodings:
+// CSR16/32, BCSR, BCOO, CacheBlocked (recursively), COO.
+func Run(h *Hierarchy, enc matrix.Format) (Result, error) {
+	rows, cols := enc.Dims()
+	l := layoutFor(enc, rows, cols)
+	if err := replay(h, enc, l, 0, 0); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if h.L1 != nil {
+		res.L1 = h.L1.Stats()
+		res.Accesses = res.L1.Accesses
+	}
+	if h.L2 != nil {
+		// Flush writebacks of dirty lines so DRAM traffic is complete.
+		h.L2.Flush()
+		res.L2 = h.L2.Stats()
+		res.DRAMBytes = res.L2.BytesIn(h.L2.LineBytes()) + res.L2.BytesOut(h.L2.LineBytes())
+	}
+	if h.TLB != nil {
+		res.TLB = h.TLB.Stats()
+	}
+	return res, nil
+}
+
+// replay issues the access stream of one encoding. xOff/yOff shift vector
+// addresses for cache-blocked tiles (which share the parent's vectors).
+func replay(h *Hierarchy, enc matrix.Format, l Layout, xOff, yOff uint64) error {
+	switch m := enc.(type) {
+	case *matrix.CSR16:
+		replayCSR(h, csrView[uint16]{m.R, m.RowPtr, m.Col, m.Val}, l, 2, xOff, yOff)
+	case *matrix.CSR32:
+		replayCSR(h, csrView[uint32]{m.R, m.RowPtr, m.Col, m.Val}, l, 4, xOff, yOff)
+	case *matrix.BCSR[uint16]:
+		replayBCSR(h, m, l, 2, xOff, yOff)
+	case *matrix.BCSR[uint32]:
+		replayBCSR(h, m, l, 4, xOff, yOff)
+	case *matrix.BCOO[uint16]:
+		replayBCOO(h, m, l, 2, xOff, yOff)
+	case *matrix.BCOO[uint32]:
+		replayBCOO(h, m, l, 4, xOff, yOff)
+	case *matrix.COO:
+		for k := range m.Val {
+			h.access(l.BRow+uint64(k)*4, 4, false)
+			h.access(l.Col+uint64(k)*4, 4, false)
+			h.access(l.Val+uint64(k)*8, 8, false)
+			h.access(l.X+xOff+uint64(m.ColIdx[k])*8, 8, false)
+			h.access(l.Y+yOff+uint64(m.RowIdx[k])*8, 8, true)
+		}
+	case *matrix.CacheBlocked:
+		// One shared layout: vectors at the parent's addresses, each
+		// block's arrays placed after the previous block's.
+		at := uint64(64)
+		for _, b := range m.Blocks {
+			bl := layoutFor(b.Enc, 0, 0) // structure arrays only
+			shift := at - 64
+			bl.RowPtr += shift
+			bl.Col += shift
+			bl.Val += shift
+			bl.BRow += shift
+			at += bl.End - 64
+			bl.X = l.X
+			bl.Y = l.Y
+			if err := replay(h, b.Enc, bl,
+				xOff+uint64(b.ColOff)*8, yOff+uint64(b.RowOff)*8); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("sim: no replay for format %T", enc)
+	}
+	return nil
+}
+
+// csrView unifies the two CSR index widths for replay.
+type csrView[I matrix.Index] struct {
+	r      int
+	rowPtr []int64
+	col    []I
+	val    []float64
+}
+
+// replayCSR issues the single-loop CSR kernel's stream: row pointer per
+// row, then per nonzero the column index, the value, the x gather; one y
+// update per row.
+func replayCSR[I matrix.Index](h *Hierarchy, m csrView[I], l Layout, idxBytes int, xOff, yOff uint64) {
+	for i := 0; i < m.r; i++ {
+		h.access(l.RowPtr+uint64(i+1)*8, 8, false)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			h.access(l.Col+uint64(k)*uint64(idxBytes), idxBytes, false)
+			h.access(l.Val+uint64(k)*8, 8, false)
+			h.access(l.X+xOff+uint64(m.col[k])*8, 8, false)
+		}
+		h.access(l.Y+yOff+uint64(i)*8, 8, true)
+	}
+}
+
+func replayBCSR[I matrix.Index](h *Hierarchy, m *matrix.BCSR[I], l Layout, idxBytes int, xOff, yOff uint64) {
+	area := m.Shape.Area()
+	for br := 0; br < m.BlockRows; br++ {
+		h.access(l.RowPtr+uint64(br+1)*8, 8, false)
+		for t := m.RowPtr[br]; t < m.RowPtr[br+1]; t++ {
+			h.access(l.Col+uint64(t)*uint64(idxBytes), idxBytes, false)
+			h.access(l.Val+uint64(t)*8*uint64(area), 8*area, false)
+			c0 := uint64(m.BCol[t]) * uint64(m.Shape.C)
+			h.access(l.X+xOff+c0*8, 8*m.Shape.C, false)
+		}
+		h.access(l.Y+yOff+uint64(br)*uint64(m.Shape.R)*8, 8*m.Shape.R, true)
+	}
+}
+
+func replayBCOO[I matrix.Index](h *Hierarchy, m *matrix.BCOO[I], l Layout, idxBytes int, xOff, yOff uint64) {
+	area := m.Shape.Area()
+	for t := range m.BCol {
+		h.access(l.BRow+uint64(t)*uint64(idxBytes), idxBytes, false)
+		h.access(l.Col+uint64(t)*uint64(idxBytes), idxBytes, false)
+		h.access(l.Val+uint64(t)*8*uint64(area), 8*area, false)
+		c0 := uint64(m.BCol[t]) * uint64(m.Shape.C)
+		r0 := uint64(m.BRow[t]) * uint64(m.Shape.R)
+		h.access(l.X+xOff+c0*8, 8*m.Shape.C, false)
+		h.access(l.Y+yOff+r0*8, 8*m.Shape.R, true)
+	}
+}

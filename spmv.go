@@ -1,0 +1,343 @@
+// Package spmv is the public API of this repository: a multicore-optimized
+// sparse matrix-vector multiplication (SpMV) library reproducing
+// "Optimization of Sparse Matrix-Vector Multiplication on Emerging
+// Multicore Platforms" (Williams, Oliker, Vuduc, Shalf, Yelick, Demmel —
+// SC 2007).
+//
+// The library implements the paper's full optimization stack:
+//
+//   - storage formats: CSR, register-blocked BCSR, block-coordinate BCOO,
+//     each with 16- or 32-bit indices, composed under cache/TLB blocking;
+//   - the §4.2 heuristic auto-tuner: one pass over the nonzeros choosing
+//     the (format, tile shape, index width) per cache block that minimizes
+//     the matrix footprint;
+//   - code-optimized kernels: single-loop CSR, branchless/segmented CSR,
+//     fully unrolled register-tile kernels for all nine power-of-two
+//     shapes;
+//   - parallelization: row decomposition balanced by nonzeros with one
+//     goroutine per partition (disjoint destination ranges — no locks).
+//
+// A typical use:
+//
+//	a := spmv.NewMatrix(n, n)
+//	a.Set(i, j, v) // ... for each nonzero
+//	op, err := spmv.Compile(a, spmv.DefaultTuneOptions())
+//	y := op.Mul(x)
+//
+// The cross-platform performance study (the paper's evaluation on AMD X2,
+// Intel Clovertown, Sun Niagara and STI Cell) is reproduced by the
+// cmd/spmv-bench and cmd/spmv-report tools backed by the platform model in
+// internal/perf; see DESIGN.md and EXPERIMENTS.md.
+package spmv
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/mmio"
+	"repro/internal/tune"
+)
+
+// Matrix is a sparse matrix under assembly, in coordinate form. Build it
+// with NewMatrix/Set (or load it with ReadMatrixMarket), then Compile it
+// into an Operator for repeated multiplication.
+type Matrix struct {
+	coo *matrix.COO
+}
+
+// NewMatrix creates an empty rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{coo: matrix.NewCOO(rows, cols)}
+}
+
+// Set appends entry (i, j) = v. Duplicate entries are summed at compile
+// time (MatrixMarket semantics). It returns an error if (i, j) is out of
+// range.
+func (m *Matrix) Set(i, j int, v float64) error { return m.coo.Append(i, j, v) }
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (rows, cols int) { return m.coo.Dims() }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int64 { return m.coo.NNZ() }
+
+// Entries calls f for every stored entry in insertion order. Duplicates
+// appear as stored (they are summed only at compile time).
+func (m *Matrix) Entries(f func(i, j int, v float64)) {
+	for k := range m.coo.Val {
+		f(int(m.coo.RowIdx[k]), int(m.coo.ColIdx[k]), m.coo.Val[k])
+	}
+}
+
+// Stats returns structural statistics (dimensions, nnz/row, empty rows,
+// bandwidth, symmetry) of the matrix.
+func (m *Matrix) Stats() MatrixStats { return m.coo.ComputeStats() }
+
+// MatrixStats re-exports the structural summary used by Table 3.
+type MatrixStats = matrix.Stats
+
+// Reordering is a symmetric row/column permutation produced by ReorderRCM.
+// Multiply with the reordered operator by permuting inputs and
+// un-permuting outputs:
+//
+//	y = ro.Unpermute(opReordered.Mul(ro.Permute(x)))
+type Reordering struct {
+	p *matrix.Permutation
+}
+
+// Permute maps a vector into the reordered index space.
+func (r *Reordering) Permute(v []float64) []float64 { return r.p.PermuteVec(v) }
+
+// Unpermute maps a vector back to the original index space.
+func (r *Reordering) Unpermute(v []float64) []float64 { return r.p.UnpermuteVec(v) }
+
+// ReorderRCM applies reverse Cuthill-McKee, the locality-enhancing
+// reordering of §2.1's SPARSITY/OSKI technique list, to a square matrix:
+// it returns B = P·A·Pᵀ with (heuristically) minimized bandwidth — which
+// concentrates source-vector accesses and improves cache blocking — plus
+// the permutation needed to translate vectors.
+func ReorderRCM(m *Matrix) (*Matrix, *Reordering, error) {
+	p, ok := matrix.RCM(m.coo)
+	if !ok {
+		return nil, nil, fmt.Errorf("spmv: RCM needs a square matrix")
+	}
+	return &Matrix{coo: p.ApplySymmetric(m.coo)}, &Reordering{p: p}, nil
+}
+
+// ReadMatrixMarket loads a matrix from MatrixMarket format (coordinate
+// real/pattern general/symmetric, or array real general).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	coo, err := mmio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{coo: coo}, nil
+}
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format.
+func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
+	return mmio.Write(w, m.coo)
+}
+
+// GenerateSuite builds a synthetic structural twin of one of the paper's
+// 14 evaluation matrices (Table 3) at the given scale. Valid names include
+// "Dense", "Protein", "FEM/Cantilever", "QCD", "Economics", "webbase",
+// "LP", ... — see SuiteNames.
+func GenerateSuite(name string, scale float64, seed int64) (*Matrix, error) {
+	coo, err := gen.GenerateByName(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{coo: coo}, nil
+}
+
+// SuiteNames lists the paper-order names accepted by GenerateSuite.
+func SuiteNames() []string {
+	names := make([]string, len(gen.Suite))
+	for i, s := range gen.Suite {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// TuneOptions configures the auto-tuner; see internal/tune for the meaning
+// of each field. DefaultTuneOptions enables the full §4.2 heuristic.
+type TuneOptions = tune.Options
+
+// DefaultTuneOptions enables register blocking, BCOO, 16-bit indices, and
+// cache/TLB blocking with a 1MB budget.
+func DefaultTuneOptions() TuneOptions { return tune.DefaultOptions() }
+
+// NaiveOptions disables every data-structure optimization: the operator
+// runs plain CSR with 32-bit indices (the paper's baseline).
+func NaiveOptions() TuneOptions { return TuneOptions{} }
+
+// Decision re-exports the tuner's per-cache-block decision record.
+type Decision = tune.Decision
+
+// Operator is a compiled, immutable SpMV operator: an encoded matrix bound
+// to its optimized kernel.
+type Operator struct {
+	k          kernel.Kernel
+	rows, cols int
+	nnz        int64
+	decisions  []Decision
+	footprint  int64
+	baseline   int64
+	threads    int
+}
+
+// Compile tunes and compiles the matrix into a serial operator.
+func Compile(m *Matrix, opt TuneOptions) (*Operator, error) {
+	return compile(m, opt, 1, 1)
+}
+
+// CompileParallel tunes each thread's row block independently (balanced by
+// nonzeros) and compiles a parallel operator with one goroutine per block.
+// numaNodes tags blocks for NUMA placement accounting (use 1 if unsure).
+func CompileParallel(m *Matrix, opt TuneOptions, threads, numaNodes int) (*Operator, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("spmv: threads must be >= 1, got %d", threads)
+	}
+	return compile(m, opt, threads, numaNodes)
+}
+
+func compile(m *Matrix, opt TuneOptions, threads, numaNodes int) (*Operator, error) {
+	csr, err := matrix.NewCSR[uint32](m.coo)
+	if err != nil {
+		return nil, err
+	}
+	op := &Operator{
+		rows: csr.R, cols: csr.C, nnz: csr.NNZ(),
+		baseline: csr.FootprintBytes(),
+		threads:  threads,
+	}
+	if threads == 1 {
+		res, err := tune.Tune(csr, opt)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kernel.Compile(res.Enc)
+		if err != nil {
+			return nil, err
+		}
+		op.k = k
+		op.decisions = res.Decisions
+		op.footprint = res.TotalFootprint
+		return op, nil
+	}
+	pk, results, err := tune.TuneParallel(csr, opt, threads, numaNodes)
+	if err != nil {
+		return nil, err
+	}
+	op.k = pk
+	for _, r := range results {
+		op.decisions = append(op.decisions, r.Decisions...)
+		op.footprint += r.TotalFootprint
+	}
+	return op, nil
+}
+
+// MulAdd computes y ← y + A·x.
+func (o *Operator) MulAdd(y, x []float64) error { return o.k.MulAdd(y, x) }
+
+// Mul returns A·x as a fresh vector.
+func (o *Operator) Mul(x []float64) ([]float64, error) {
+	y := make([]float64, o.rows)
+	if err := o.k.MulAdd(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Dims returns (rows, cols).
+func (o *Operator) Dims() (rows, cols int) { return o.rows, o.cols }
+
+// NNZ returns the number of logical nonzeros.
+func (o *Operator) NNZ() int64 { return o.nnz }
+
+// Threads returns the parallel width of the compiled kernel.
+func (o *Operator) Threads() int { return o.threads }
+
+// KernelName identifies the compiled kernel variant.
+func (o *Operator) KernelName() string { return o.k.Name() }
+
+// FootprintBytes returns the tuned data-structure size.
+func (o *Operator) FootprintBytes() int64 { return o.footprint }
+
+// BaselineBytes returns the plain CSR32 footprint for comparison.
+func (o *Operator) BaselineBytes() int64 { return o.baseline }
+
+// Savings returns the footprint reduction versus CSR32, in [0, 1).
+func (o *Operator) Savings() float64 {
+	if o.baseline == 0 {
+		return 0
+	}
+	s := 1 - float64(o.footprint)/float64(o.baseline)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Decisions returns the tuner's per-cache-block decision log.
+func (o *Operator) Decisions() []Decision { return o.decisions }
+
+// CompileSymmetric compiles a numerically symmetric matrix into an
+// operator backed by upper-triangle (SymCSR) storage, halving the matrix
+// stream — the symmetry optimization the paper's conclusions recommend for
+// bandwidth reduction (§7) and that OSKI implements. Returns an error if
+// the matrix is not exactly symmetric.
+func CompileSymmetric(m *Matrix) (*Operator, error) {
+	sym, err := matrix.NewSymCSR(m.coo)
+	if err != nil {
+		return nil, err
+	}
+	csrBaseline, err := matrix.NewCSR[uint32](m.coo)
+	if err != nil {
+		return nil, err
+	}
+	return &Operator{
+		k:    symKernel{sym},
+		rows: sym.N, cols: sym.N,
+		nnz:       sym.NNZ(),
+		footprint: sym.FootprintBytes(),
+		baseline:  csrBaseline.FootprintBytes(),
+		threads:   1,
+		decisions: []Decision{{
+			Rows: sym.N, Cols: sym.N, NNZ: sym.NNZ(),
+			Format: "SymCSR", IndexBits: 32,
+			Footprint: sym.FootprintBytes(), Fill: 1,
+		}},
+	}, nil
+}
+
+// symKernel adapts SymCSR's multiply to the kernel interface.
+type symKernel struct{ m *matrix.SymCSR }
+
+func (s symKernel) MulAdd(y, x []float64) error { return s.m.MulAdd(y, x) }
+func (s symKernel) Format() matrix.Format       { return s.m }
+func (s symKernel) Name() string                { return "symcsr" }
+
+// MultiOperator multiplies a block of k vectors in one matrix sweep — the
+// multiple-vectors optimization (OSKI, §2.1), which raises the effective
+// flop:byte ratio by nearly k for bandwidth-bound SpMV.
+type MultiOperator struct {
+	mv         *kernel.MultiVec
+	rows, cols int
+}
+
+// CompileMulti builds a k-vector operator over CSR storage.
+func CompileMulti(m *Matrix, vectors int) (*MultiOperator, error) {
+	csr, err := matrix.NewCSR[uint32](m.coo)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := kernel.NewMultiVec(csr, vectors)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiOperator{mv: mv, rows: csr.R, cols: csr.C}, nil
+}
+
+// Vectors returns the block width k.
+func (o *MultiOperator) Vectors() int { return o.mv.Vectors() }
+
+// MulAll computes Y_v = A·X_v for all k vectors in one sweep.
+func (o *MultiOperator) MulAll(xs [][]float64) ([][]float64, error) {
+	xBlock, err := kernel.Interleave(xs)
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != o.mv.Vectors() {
+		return nil, fmt.Errorf("spmv: %d vectors, operator compiled for %d", len(xs), o.mv.Vectors())
+	}
+	yBlock := make([]float64, o.rows*o.mv.Vectors())
+	if err := o.mv.MulAdd(yBlock, xBlock); err != nil {
+		return nil, err
+	}
+	return kernel.Deinterleave(yBlock, o.mv.Vectors())
+}
