@@ -26,6 +26,16 @@ func cell(t *testing.T, tb *Table, rowKey, col string) float64 {
 	return v
 }
 
+// skipInShort gates the experiment-harness evaluations (tens of seconds
+// of modeled-hardware sweeps) out of -short runs; structural/render tests
+// stay.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment-harness evaluation; skipped with -short")
+	}
+}
+
 func TestTable1Renders(t *testing.T) {
 	tb := Table1()
 	if len(tb.Rows) != 5 {
@@ -54,6 +64,7 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestTable3MatchesSpecs(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Table3()
 	if err != nil {
@@ -73,6 +84,7 @@ func TestTable3MatchesSpecs(t *testing.T) {
 // TestTable4Shape checks the relationships the paper highlights rather
 // than absolute values (those are asserted against Table 4 in perf tests).
 func TestTable4Shape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Table4()
 	if err != nil {
@@ -104,6 +116,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFigure1AMDShape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Figure1(machine.AMDX2())
 	if err != nil {
@@ -172,6 +185,7 @@ func TestFigure1AMDShape(t *testing.T) {
 }
 
 func TestFigure1NiagaraShape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Figure1(machine.Niagara())
 	if err != nil {
@@ -196,6 +210,7 @@ func TestFigure1NiagaraShape(t *testing.T) {
 }
 
 func TestFigure1CellShape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	ps3, err := r.Figure1(machine.CellPS3())
 	if err != nil {
@@ -224,6 +239,7 @@ func TestFigure1CellShape(t *testing.T) {
 }
 
 func TestFigure2aShape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Figure2a()
 	if err != nil {
@@ -246,6 +262,7 @@ func TestFigure2aShape(t *testing.T) {
 }
 
 func TestFigure2bShape(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Figure2b()
 	if err != nil {
@@ -268,6 +285,7 @@ func TestFigure2bShape(t *testing.T) {
 }
 
 func TestSpeedupsTable(t *testing.T) {
+	skipInShort(t)
 	r := testRunner()
 	tb, err := r.Speedups()
 	if err != nil {

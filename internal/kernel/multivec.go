@@ -35,19 +35,33 @@ func (mv *MultiVec) Vectors() int { return mv.nv }
 // one cache line serves k kernels, which is where the traffic saving comes
 // from.
 //
-// The inner loop is unrolled for the common widths 1, 2 and 4 (mirroring
-// the register-block code generation) and falls back to a generic loop.
+// The inner loop is unrolled for the common widths 1, 2, 4 and 8
+// (mirroring the register-block code generation) and falls back to a
+// generic loop.
 func (mv *MultiVec) MulAdd(y, x []float64) error {
+	return mv.MulAddRows(y, x, 0, mv.m.R)
+}
+
+// MulAddRows computes the rows [lo, hi) of Y ← Y + A·X over the same
+// interleaved block layout as MulAdd. Disjoint row ranges write disjoint
+// regions of y, so concurrent calls over a row partition parallelize one
+// fused sweep without synchronization — the serving layer's sharded
+// multi-RHS path.
+func (mv *MultiVec) MulAddRows(y, x []float64, lo, hi int) error {
 	m := mv.m
 	nv := mv.nv
 	if len(y) != m.R*nv || len(x) != m.C*nv {
 		return fmt.Errorf("%w: matrix %dx%d with %d vectors: len(y)=%d len(x)=%d",
 			matrix.ErrShape, m.R, m.C, nv, len(y), len(x))
 	}
+	if lo < 0 || hi > m.R || lo > hi {
+		return fmt.Errorf("%w: rows [%d,%d) outside matrix with %d rows",
+			matrix.ErrShape, lo, hi, m.R)
+	}
 	switch nv {
 	case 1:
-		k := int64(0)
-		for i := 0; i < m.R; i++ {
+		k := m.RowPtr[lo]
+		for i := lo; i < hi; i++ {
 			end := m.RowPtr[i+1]
 			sum := 0.0
 			for ; k < end; k++ {
@@ -56,8 +70,8 @@ func (mv *MultiVec) MulAdd(y, x []float64) error {
 			y[i] += sum
 		}
 	case 2:
-		k := int64(0)
-		for i := 0; i < m.R; i++ {
+		k := m.RowPtr[lo]
+		for i := lo; i < hi; i++ {
 			end := m.RowPtr[i+1]
 			s0, s1 := 0.0, 0.0
 			for ; k < end; k++ {
@@ -70,8 +84,8 @@ func (mv *MultiVec) MulAdd(y, x []float64) error {
 			y[i*2+1] += s1
 		}
 	case 4:
-		k := int64(0)
-		for i := 0; i < m.R; i++ {
+		k := m.RowPtr[lo]
+		for i := lo; i < hi; i++ {
 			end := m.RowPtr[i+1]
 			s0, s1, s2, s3 := 0.0, 0.0, 0.0, 0.0
 			for ; k < end; k++ {
@@ -87,10 +101,38 @@ func (mv *MultiVec) MulAdd(y, x []float64) error {
 			y[i*4+2] += s2
 			y[i*4+3] += s3
 		}
+	case 8:
+		k := m.RowPtr[lo]
+		for i := lo; i < hi; i++ {
+			end := m.RowPtr[i+1]
+			s0, s1, s2, s3 := 0.0, 0.0, 0.0, 0.0
+			s4, s5, s6, s7 := 0.0, 0.0, 0.0, 0.0
+			for ; k < end; k++ {
+				v := m.Val[k]
+				c := int(m.Col[k]) * 8
+				s0 += v * x[c]
+				s1 += v * x[c+1]
+				s2 += v * x[c+2]
+				s3 += v * x[c+3]
+				s4 += v * x[c+4]
+				s5 += v * x[c+5]
+				s6 += v * x[c+6]
+				s7 += v * x[c+7]
+			}
+			b := i * 8
+			y[b] += s0
+			y[b+1] += s1
+			y[b+2] += s2
+			y[b+3] += s3
+			y[b+4] += s4
+			y[b+5] += s5
+			y[b+6] += s6
+			y[b+7] += s7
+		}
 	default:
 		sums := make([]float64, nv)
-		k := int64(0)
-		for i := 0; i < m.R; i++ {
+		k := m.RowPtr[lo]
+		for i := lo; i < hi; i++ {
 			end := m.RowPtr[i+1]
 			for v := range sums {
 				sums[v] = 0

@@ -12,7 +12,7 @@ func TestMultiVecMatchesPerVectorReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	m := fillRandom(matrix.NewCOO(80, 120), rng, 1500)
 	csr, _ := matrix.NewCSR[uint32](m)
-	for _, nv := range []int{1, 2, 3, 4, 7} {
+	for _, nv := range []int{1, 2, 3, 4, 7, 8} {
 		mv, err := NewMultiVec(csr, nv)
 		if err != nil {
 			t.Fatal(err)
@@ -46,6 +46,50 @@ func TestMultiVecMatchesPerVectorReference(t *testing.T) {
 			if d := maxAbsDiff(got[v], wants[v]); d > 1e-12 {
 				t.Errorf("nv=%d vector %d: diff %g", nv, v, d)
 			}
+		}
+	}
+}
+
+// TestMultiVecRowRangesTileFullSweep verifies the serving layer's sharding
+// contract: MulAddRows over any tiling of [0, R) equals one full MulAdd.
+func TestMultiVecRowRangesTileFullSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := fillRandom(matrix.NewCOO(97, 61), rng, 1200)
+	csr, _ := matrix.NewCSR[uint32](m)
+	for _, nv := range []int{1, 2, 3, 4, 6, 8} {
+		mv, err := NewMultiVec(csr, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 61*nv)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, 97*nv)
+		if err := mv.MulAdd(want, x); err != nil {
+			t.Fatal(err)
+		}
+		for _, bounds := range [][]int{
+			{0, 97},
+			{0, 1, 97},
+			{0, 30, 31, 96, 97},
+			{0, 10, 20, 40, 80, 97},
+		} {
+			got := make([]float64, 97*nv)
+			for i := 0; i+1 < len(bounds); i++ {
+				if err := mv.MulAddRows(got, x, bounds[i], bounds[i+1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := maxAbsDiff(got, want); d != 0 {
+				t.Errorf("nv=%d bounds=%v: diff %g from full sweep", nv, bounds, d)
+			}
+		}
+		if err := mv.MulAddRows(make([]float64, 97*nv), x, 5, 3); err == nil {
+			t.Error("inverted range accepted")
+		}
+		if err := mv.MulAddRows(make([]float64, 97*nv), x, 0, 98); err == nil {
+			t.Error("out-of-bounds range accepted")
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	spmv "repro"
+)
+
+// registerRequest is the body of POST /v1/matrices. Exactly one matrix
+// source must be provided: a Table 3 suite twin, explicit COO entries, or
+// an inline MatrixMarket document.
+type registerRequest struct {
+	ID string `json:"id,omitempty"`
+
+	// Suite twin generation.
+	Suite string  `json:"suite,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+
+	// Explicit entries.
+	Rows    int          `json:"rows,omitempty"`
+	Cols    int          `json:"cols,omitempty"`
+	Entries [][3]float64 `json:"entries,omitempty"` // [i, j, value]
+
+	// Inline MatrixMarket document.
+	MatrixMarket string `json:"matrix_market,omitempty"`
+}
+
+type mulRequest struct {
+	X []float64 `json:"x"`
+}
+
+type mulResponse struct {
+	Y []float64 `json:"y"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API of the serving subsystem:
+//
+//	POST /v1/matrices          register a matrix (suite | entries | matrix_market)
+//	GET  /v1/matrices          list registered matrices
+//	POST /v1/matrices/{id}/mul compute y = A·x (coalesced with concurrent calls)
+//	GET  /v1/stats             JSON counter snapshot
+//	GET  /metrics              Prometheus-style counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
+	mux.HandleFunc("GET /v1/matrices", s.handleList)
+	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var info MatrixInfo
+	var err error
+	switch {
+	case req.Suite != "":
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 0.02
+		}
+		info, err = s.RegisterSuite(req.ID, req.Suite, scale, req.Seed)
+	case len(req.Entries) > 0:
+		var m *spmv.Matrix
+		m, err = matrixFromEntries(req.Rows, req.Cols, req.Entries)
+		if err == nil {
+			info, err = s.Register(req.ID, "upload", m)
+		}
+	case req.MatrixMarket != "":
+		var m *spmv.Matrix
+		m, err = spmv.ReadMatrixMarket(strings.NewReader(req.MatrixMarket))
+		if err == nil {
+			info, err = s.Register(req.ID, "matrixmarket", m)
+		}
+	default:
+		err = fmt.Errorf("provide one of suite, entries, matrix_market")
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func matrixFromEntries(rows, cols int, entries [][3]float64) (*spmv.Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("rows and cols must be positive, got %dx%d", rows, cols)
+	}
+	m := spmv.NewMatrix(rows, cols)
+	for n, e := range entries {
+		i, j := int(e[0]), int(e[1])
+		if float64(i) != e[0] || float64(j) != e[1] {
+			return nil, fmt.Errorf("entry %d: non-integer indices (%g, %g)", n, e[0], e[1])
+		}
+		if err := m.Set(i, j, e[2]); err != nil {
+			return nil, fmt.Errorf("entry %d: %w", n, err)
+		}
+	}
+	return m, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Client().Matrices())
+}
+
+func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req mulRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	y, err := s.Mul(id, req.X)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown matrix") {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mulResponse{Y: y})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	put := func(name, typ, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	put("spmv_serve_requests_total", "counter", "Mul requests admitted.", st.Requests)
+	put("spmv_serve_sweeps_total", "counter", "Kernel sweeps executed.", st.Sweeps)
+	put("spmv_serve_fused_sweeps_total", "counter", "Sweeps that coalesced >= 2 requests.", st.FusedSweeps)
+	put("spmv_serve_fused_requests_total", "counter", "Requests served by fused sweeps.", st.FusedRequests)
+	put("spmv_serve_single_fallbacks_total", "counter", "Requests served by the per-request parallel path.", st.SingleFallbacks)
+	put("spmv_serve_matrices_registered", "gauge", "Matrices in the registry.", st.Registered)
+	put("spmv_serve_compiles_total", "counter", "Tuner+compile runs (operator-cache misses).", st.Compiles)
+	put("spmv_serve_compile_hits_total", "counter", "Operator-cache hits.", st.CompileHits)
+	put("spmv_serve_matrix_bytes_total", "counter", "Modeled matrix-stream DRAM bytes moved.", st.MatrixBytes)
+	put("spmv_serve_source_bytes_total", "counter", "Modeled source-vector DRAM bytes moved.", st.SourceBytes)
+	put("spmv_serve_dest_bytes_total", "counter", "Modeled destination-vector DRAM bytes moved.", st.DestBytes)
+	put("spmv_serve_saved_bytes_total", "counter", "Matrix-stream bytes avoided by fusion.", st.SavedBytes)
+	fmt.Fprintf(w, "# HELP spmv_serve_fused_width Sweeps by fused width.\n# TYPE spmv_serve_fused_width counter\n")
+	for wd, n := range st.FusedWidthHist {
+		if n > 0 {
+			fmt.Fprintf(w, "spmv_serve_fused_width{width=%q} %d\n", fmt.Sprint(wd), n)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Register an explicit 2x3 matrix: [[2,0,1],[0,3,0]].
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		ID: "tiny", Rows: 2, Cols: 3,
+		Entries: [][3]float64{{0, 0, 2}, {0, 2, 1}, {1, 1, 3}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	info := decode[MatrixInfo](t, resp)
+	if info.ID != "tiny" || info.Rows != 2 || info.Cols != 3 || info.NNZ != 3 {
+		t.Fatalf("register info %+v", info)
+	}
+	if info.Kernel == "" || info.Shards < 1 {
+		t.Errorf("missing tuned-operator metadata: %+v", info)
+	}
+
+	// Multiply: A·[1,2,3] = [5, 6].
+	resp = postJSON(t, ts.URL+"/v1/matrices/tiny/mul", mulRequest{X: []float64{1, 2, 3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mul status %d", resp.StatusCode)
+	}
+	mr := decode[mulResponse](t, resp)
+	if len(mr.Y) != 2 || mr.Y[0] != 5 || mr.Y[1] != 6 {
+		t.Fatalf("y = %v, want [5 6]", mr.Y)
+	}
+
+	// Register a suite twin.
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{Suite: "QCD", Scale: 0.02, Seed: 3})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("suite register status %d", resp.StatusCode)
+	}
+	qcd := decode[MatrixInfo](t, resp)
+	resp = postJSON(t, ts.URL+"/v1/matrices/"+qcd.ID+"/mul", mulRequest{X: make([]float64, qcd.Cols)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite mul status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Register from an inline MatrixMarket document.
+	mm := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 4.0\n2 2 5.0\n"
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "mm", MatrixMarket: mm})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("matrixmarket register status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Listing shows all three.
+	listResp, err := http.Get(ts.URL + "/v1/matrices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]MatrixInfo](t, listResp)
+	if len(list) != 3 {
+		t.Fatalf("%d matrices listed, want 3", len(list))
+	}
+
+	// Stats and metrics reflect the traffic.
+	stResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Stats](t, stResp)
+	if st.Requests != 2 || st.Registered != 3 {
+		t.Errorf("stats requests=%d registered=%d, want 2/3", st.Requests, st.Registered)
+	}
+	metResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(metResp.Body)
+	metResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, w := range []string{"spmv_serve_requests_total 2", "spmv_serve_matrices_registered 3", "spmv_serve_fused_width"} {
+		if !strings.Contains(metrics, w) {
+			t.Errorf("metrics missing %q:\n%s", w, metrics)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown matrix: 404.
+	resp := postJSON(t, ts.URL+"/v1/matrices/ghost/mul", mulRequest{X: []float64{1}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown matrix status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// No matrix source: 400.
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty register status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad entry indices: 400.
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		Rows: 2, Cols: 2, Entries: [][3]float64{{0.5, 0, 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("fractional index status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Duplicate id: 409.
+	first := postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "dup", Rows: 1, Cols: 1, Entries: [][3]float64{{0, 0, 1}}})
+	first.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "dup", Rows: 1, Cols: 1, Entries: [][3]float64{{0, 0, 1}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate register status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wrong x length: 400.
+	resp = postJSON(t, ts.URL+"/v1/matrices/dup/mul", mulRequest{X: []float64{1, 2}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-length mul status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,172 @@
+// Package server is the SpMV serving subsystem: a matrix registry that
+// tunes (§4.2) and caches compiled operators, an adaptive batcher that
+// coalesces concurrent single-vector requests into fused multi-RHS sweeps
+// (§2.1's multiple-vectors optimization — the matrix streams once for k
+// requests), and a worker pool that shards each sweep over nonzero-balanced
+// row partitions (§4.3). It serves both as an in-process Client API and,
+// via Handler, as the HTTP service behind cmd/spmv-serve.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	spmv "repro"
+)
+
+// opKey identifies one compiled operator: tune options plus parallel width.
+// tune.Options is a flat value struct, so the pair is directly comparable.
+type opKey struct {
+	opts    spmv.TuneOptions
+	threads int
+}
+
+// Entry is one registered matrix with its cached compiled operators and
+// precomputed serving metadata.
+type Entry struct {
+	ID   string
+	Name string // human label (suite name, "upload", ...)
+
+	m          *spmv.Matrix
+	rows, cols int
+	nnz        int64
+
+	mu  sync.Mutex
+	ops map[opKey]*spmv.Operator
+
+	// Serving-path state, built once when the default operator compiles.
+	def    *spmv.Operator  // default operator (registry's tune opts/threads)
+	shards []spmv.RowRange // nonzero-balanced row partition for fused sweeps
+	// Modeled single-RHS sweep traffic (internal/traffic), the basis for
+	// the server's bytes-moved counters.
+	matrixBytes, sourceBytes, destBytes int64
+
+	// bufs recycles interleaved x/y blocks between fused sweeps so the
+	// steady-state hot path allocates only the result vectors it hands to
+	// callers.
+	bufs sync.Pool // *blockBuf
+}
+
+// blockBuf is one fused sweep's interleaved scratch space.
+type blockBuf struct {
+	x, y []float64
+}
+
+// getBuf returns a scratch buffer with capacity for a width-w sweep.
+func (e *Entry) getBuf(w int) *blockBuf {
+	b, _ := e.bufs.Get().(*blockBuf)
+	if b == nil {
+		b = &blockBuf{}
+	}
+	if need := e.cols * w; cap(b.x) < need {
+		b.x = make([]float64, need)
+	}
+	if need := e.rows * w; cap(b.y) < need {
+		b.y = make([]float64, need)
+	}
+	return b
+}
+
+func (e *Entry) putBuf(b *blockBuf) { e.bufs.Put(b) }
+
+// Dims returns (rows, cols).
+func (e *Entry) Dims() (rows, cols int) { return e.rows, e.cols }
+
+// NNZ returns the matrix's logical nonzero count.
+func (e *Entry) NNZ() int64 { return e.nnz }
+
+// Operator returns the compiled operator for the given tune options and
+// thread count, compiling on first use and serving every later request for
+// the same key from cache. It is the registry's "tune once per matrix"
+// contract: the §4.2 tuner pass and kernel compilation are paid once per
+// (matrix, options, threads).
+func (e *Entry) Operator(opts spmv.TuneOptions, threads int, st *stats) (*spmv.Operator, error) {
+	key := opKey{opts: opts, threads: threads}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if op, ok := e.ops[key]; ok {
+		if st != nil {
+			st.compileHits.Add(1)
+		}
+		return op, nil
+	}
+	op, err := spmv.CompileParallel(e.m, opts, threads, 1)
+	if err != nil {
+		return nil, err
+	}
+	if e.ops == nil {
+		e.ops = make(map[opKey]*spmv.Operator)
+	}
+	e.ops[key] = op
+	if st != nil {
+		st.compiles.Add(1)
+	}
+	return op, nil
+}
+
+// Registry holds the served matrices. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[string]*Entry
+	seq  int
+	st   *stats
+}
+
+// NewRegistry returns an empty registry. st may be nil.
+func NewRegistry(st *stats) *Registry {
+	return &Registry{byID: make(map[string]*Entry), st: st}
+}
+
+// Register ingests a matrix under the given id (one is generated when
+// empty) and returns its entry. Registering an existing id is an error:
+// entries are immutable once served, matching the immutability of compiled
+// operators.
+func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
+	if m == nil {
+		return nil, fmt.Errorf("server: nil matrix")
+	}
+	rows, cols := m.Dims()
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("server: empty matrix %dx%d", rows, cols)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == "" {
+		r.seq++
+		id = fmt.Sprintf("m%d", r.seq)
+	}
+	if _, ok := r.byID[id]; ok {
+		return nil, fmt.Errorf("server: matrix %q already registered", id)
+	}
+	e := &Entry{ID: id, Name: name, m: m, rows: rows, cols: cols, nnz: m.NNZ()}
+	r.byID[id] = e
+	if r.st != nil {
+		r.st.registered.Add(1)
+	}
+	return e, nil
+}
+
+// Get returns the entry for id.
+func (r *Registry) Get(id string) (*Entry, error) {
+	r.mu.RLock()
+	e, ok := r.byID[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown matrix %q", id)
+	}
+	return e, nil
+}
+
+// List returns all entries ordered by id.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

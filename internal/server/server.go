@@ -1,0 +1,310 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	spmv "repro"
+)
+
+// Config sizes the serving subsystem.
+type Config struct {
+	// Tune is the tuner configuration used for every matrix's default
+	// serving operator (DefaultTuneOptions when zero-valued configs use
+	// DefaultConfig).
+	Tune spmv.TuneOptions
+	// Threads is the parallel width of the per-request fallback operator.
+	// <= 0 means GOMAXPROCS.
+	Threads int
+	// Workers is the sweep pool size. <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxConcurrentSweeps bounds sweeps executing at once. <= 0 means
+	// Workers.
+	MaxConcurrentSweeps int
+	// Shards is the number of nonzero-balanced row shards each fused sweep
+	// fans out over. <= 0 means Workers.
+	Shards int
+	// MaxBatch is the widest fused sweep (k requests coalesced). <= 1
+	// disables batching.
+	MaxBatch int
+	// BatchWindow is how long a batch leader lingers for followers.
+	BatchWindow time.Duration
+	// Adaptive lets lone requests skip the linger when traffic is sparse
+	// (see batcher). Dense traffic still coalesces.
+	Adaptive bool
+}
+
+// DefaultConfig serves with the full §4.2 tuner, GOMAXPROCS workers, up to
+// 8-wide fusion and a 200µs linger with adaptive fallback.
+func DefaultConfig() Config {
+	return Config{
+		Tune:        spmv.DefaultTuneOptions(),
+		MaxBatch:    8,
+		BatchWindow: 200 * time.Microsecond,
+		Adaptive:    true,
+	}
+}
+
+// Server is the SpMV serving subsystem: registry + batchers + sweep pool.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	pool *Pool
+	st   stats
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+}
+
+// New starts a server. Call Close to stop its workers.
+func New(cfg Config) *Server {
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Workers
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	s := &Server{cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps), batchers: make(map[string]*batcher)}
+	s.reg = NewRegistry(&s.st)
+	return s
+}
+
+// Close stops the worker pool. In-flight requests must have drained.
+func (s *Server) Close() { s.pool.Close() }
+
+// Registry exposes the underlying registry (read-mostly callers: List/Get).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats { return s.st.snapshot() }
+
+// MatrixInfo describes one registered, tuned matrix.
+type MatrixInfo struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int64   `json:"nnz"`
+	Kernel     string  `json:"kernel"`
+	Footprint  int64   `json:"footprint_bytes"`
+	Baseline   int64   `json:"baseline_bytes"`
+	Savings    float64 `json:"savings"`
+	Threads    int     `json:"threads"`
+	Shards     int     `json:"shards"`
+	SweepBytes int64   `json:"sweep_bytes"` // modeled DRAM bytes per single-RHS sweep
+}
+
+func (s *Server) info(e *Entry) MatrixInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.def == nil {
+		return MatrixInfo{ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz}
+	}
+	return MatrixInfo{
+		ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
+		Kernel: e.def.KernelName(), Footprint: e.def.FootprintBytes(),
+		Baseline: e.def.BaselineBytes(), Savings: e.def.Savings(),
+		Threads: e.def.Threads(), Shards: len(e.shards),
+		SweepBytes: e.matrixBytes + e.sourceBytes + e.destBytes,
+	}
+}
+
+// Register ingests a matrix, runs the tuner once, compiles the default
+// serving operator, and precomputes the fused-sweep shard plan. The empty
+// id asks the registry to generate one.
+func (s *Server) Register(id, name string, m *spmv.Matrix) (MatrixInfo, error) {
+	e, err := s.reg.Register(id, name, m)
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	if err := s.prepare(e); err != nil {
+		return MatrixInfo{}, err
+	}
+	return s.info(e), nil
+}
+
+// RegisterSuite generates a structural twin of one of the paper's Table 3
+// matrices and registers it.
+func (s *Server) RegisterSuite(id, suite string, scale float64, seed int64) (MatrixInfo, error) {
+	m, err := spmv.GenerateSuite(suite, scale, seed)
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	return s.Register(id, suite, m)
+}
+
+// prepare compiles the entry's default operator and shard plan.
+func (s *Server) prepare(e *Entry) error {
+	op, err := e.Operator(s.cfg.Tune, s.cfg.Threads, &s.st)
+	if err != nil {
+		return err
+	}
+	shards, err := op.RowPartition(s.cfg.Shards)
+	if err != nil {
+		return err
+	}
+	tr, err := op.Traffic(spmv.TrafficOptions{})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.def = op
+	e.shards = shards
+	e.matrixBytes, e.sourceBytes, e.destBytes = tr.MatrixBytes, tr.SourceBytes, tr.DestBytes
+	e.mu.Unlock()
+	return nil
+}
+
+// Mul computes y = A·x for the registered matrix id. Concurrent calls
+// against the same matrix may be coalesced into one fused multi-RHS sweep;
+// results are identical to independent execution (the kernels are
+// deterministic and each request keeps its own vector slot).
+func (s *Server) Mul(id string, x []float64) ([]float64, error) {
+	e, err := s.reg.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != e.cols {
+		return nil, fmt.Errorf("server: matrix %q is %dx%d, len(x)=%d", id, e.rows, e.cols, len(x))
+	}
+	e.mu.Lock()
+	ready := e.def != nil
+	e.mu.Unlock()
+	if !ready {
+		return nil, fmt.Errorf("server: matrix %q is still compiling", id)
+	}
+	s.st.requests.Add(1)
+	return s.batcherFor(e).mul(x)
+}
+
+func (s *Server) batcherFor(e *Entry) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[e.ID]
+	if !ok {
+		b = newBatcher(s.cfg.MaxBatch, s.cfg.BatchWindow, s.cfg.Adaptive,
+			func(reqs []*pending) { s.executeBatch(e, reqs) })
+		s.batchers[e.ID] = b
+	}
+	return b
+}
+
+// executeBatch runs one closed batch: a fused multi-RHS sweep sharded over
+// the pool when width >= 2, the per-request parallel operator otherwise.
+func (s *Server) executeBatch(e *Entry, reqs []*pending) {
+	width := len(reqs)
+	fail := func(err error) {
+		for _, p := range reqs {
+			p.ch <- mulResult{err: err}
+		}
+	}
+	if width == 1 {
+		var y []float64
+		var err error
+		s.pool.RunSweep([]func(){func() { y, err = e.def.Mul(reqs[0].x) }})
+		s.st.recordSweep(1, e.matrixBytes, e.sourceBytes, e.destBytes)
+		reqs[0].ch <- mulResult{y: y, err: err}
+		return
+	}
+
+	mo, err := e.def.Multi(width)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// Interleave into pooled scratch: xBlock[j*width+v] = x_v[j]. The
+	// blocks are recycled across sweeps, so the hot path's only
+	// allocations are the result vectors handed back to callers. j stays
+	// the outer loop so the big block is written sequentially (one pass)
+	// while the k inputs stream.
+	buf := e.getBuf(width)
+	defer e.putBuf(buf)
+	xs := make([][]float64, width)
+	for i, p := range reqs {
+		xs[i] = p.x
+	}
+	xBlock := buf.x[:e.cols*width]
+	for j := 0; j < e.cols; j++ {
+		base := j * width
+		for v := range xs {
+			xBlock[base+v] = xs[v][j]
+		}
+	}
+	yBlock := buf.y[:e.rows*width]
+	clear(yBlock)
+
+	var errMu sync.Mutex
+	var sweepErr error
+	shards := make([]func(), len(e.shards))
+	for i, rg := range e.shards {
+		lo, hi := rg.Lo, rg.Hi
+		shards[i] = func() {
+			if err := mo.MulAddRows(yBlock, xBlock, lo, hi); err != nil {
+				errMu.Lock()
+				sweepErr = err
+				errMu.Unlock()
+			}
+		}
+	}
+	s.pool.RunSweep(shards)
+	if sweepErr != nil {
+		fail(sweepErr)
+		return
+	}
+	s.st.recordSweep(width, e.matrixBytes, e.sourceBytes, e.destBytes)
+	// Deinterleave with one sequential pass over the block.
+	ys := make([][]float64, width)
+	for v := range ys {
+		ys[v] = make([]float64, e.rows)
+	}
+	for j := 0; j < e.rows; j++ {
+		base := j * width
+		for v := range ys {
+			ys[v][j] = yBlock[base+v]
+		}
+	}
+	for v, p := range reqs {
+		p.ch <- mulResult{y: ys[v]}
+	}
+}
+
+// Client is the in-process API of the serving subsystem — the same
+// operations cmd/spmv-serve exposes over HTTP, without the transport.
+type Client struct{ s *Server }
+
+// Client returns an in-process client bound to the server.
+func (s *Server) Client() *Client { return &Client{s: s} }
+
+// Register ingests and tunes a matrix.
+func (c *Client) Register(id, name string, m *spmv.Matrix) (MatrixInfo, error) {
+	return c.s.Register(id, name, m)
+}
+
+// RegisterSuite ingests a generated Table 3 twin.
+func (c *Client) RegisterSuite(id, suite string, scale float64, seed int64) (MatrixInfo, error) {
+	return c.s.RegisterSuite(id, suite, scale, seed)
+}
+
+// Mul computes y = A·x, transparently coalescing with concurrent callers.
+func (c *Client) Mul(id string, x []float64) ([]float64, error) { return c.s.Mul(id, x) }
+
+// Matrices lists the registered matrices.
+func (c *Client) Matrices() []MatrixInfo {
+	entries := c.s.reg.List()
+	out := make([]MatrixInfo, len(entries))
+	for i, e := range entries {
+		out[i] = c.s.info(e)
+	}
+	return out
+}
+
+// Stats snapshots the serving counters.
+func (c *Client) Stats() Stats { return c.s.Stats() }

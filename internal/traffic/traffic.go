@@ -80,6 +80,23 @@ func (s Summary) FlopByte() float64 {
 	return float64(s.Flops) / float64(t)
 }
 
+// MultiRHS returns the traffic of the same sweep fused over k right-hand
+// sides (§2.1's multiple-vectors optimization): the matrix stream is paid
+// once while vector traffic, flops and tile work scale by k. SavedBytes
+// against k independent sweeps is (k-1)*MatrixBytes.
+func (s Summary) MultiRHS(k int) Summary {
+	if k < 1 {
+		k = 1
+	}
+	out := s
+	out.SourceBytes *= int64(k)
+	out.DestBytes *= int64(k)
+	out.Flops *= int64(k)
+	out.StoredFlops *= int64(k)
+	out.Tiles *= int64(k)
+	return out
+}
+
 // add accumulates b into s.
 func (s *Summary) add(b Summary) {
 	s.MatrixBytes += b.MatrixBytes

@@ -33,11 +33,14 @@ package spmv
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/mmio"
+	"repro/internal/partition"
+	"repro/internal/traffic"
 	"repro/internal/tune"
 )
 
@@ -168,6 +171,36 @@ type Operator struct {
 	footprint  int64
 	baseline   int64
 	threads    int
+
+	// src points at the source matrix's entries so the multi-RHS hooks
+	// (Multi, RowPartition, Traffic fallback) can rebuild CSR storage on
+	// first use. The CSR itself is NOT retained eagerly: callers that
+	// never touch the hooks pay nothing beyond the tuned encoding. nil
+	// for operators without a coordinate source (CompileSymmetric).
+	src *matrix.COO
+
+	multiMu sync.Mutex
+	lazyCSR *matrix.CSR32          // built on first hook use, then shared
+	multi   map[int]*MultiOperator // multi-RHS views, by width
+}
+
+// csrLocked returns (building if needed) the CSR32 backing the multi-RHS
+// hooks. multiMu must be held. The CSR snapshots the source matrix at
+// first use; mutating the Matrix after Compile is not supported for these
+// hooks (the compiled kernel would diverge from it anyway).
+func (o *Operator) csrLocked() (*matrix.CSR32, error) {
+	if o.lazyCSR != nil {
+		return o.lazyCSR, nil
+	}
+	if o.src == nil {
+		return nil, fmt.Errorf("spmv: operator has no CSR backing")
+	}
+	csr, err := matrix.NewCSR[uint32](o.src)
+	if err != nil {
+		return nil, err
+	}
+	o.lazyCSR = csr
+	return csr, nil
 }
 
 // Compile tunes and compiles the matrix into a serial operator.
@@ -194,6 +227,7 @@ func compile(m *Matrix, opt TuneOptions, threads, numaNodes int) (*Operator, err
 		rows: csr.R, cols: csr.C, nnz: csr.NNZ(),
 		baseline: csr.FootprintBytes(),
 		threads:  threads,
+		src:      m.coo,
 	}
 	if threads == 1 {
 		res, err := tune.Tune(csr, opt)
@@ -265,6 +299,89 @@ func (o *Operator) Savings() float64 {
 
 // Decisions returns the tuner's per-cache-block decision log.
 func (o *Operator) Decisions() []Decision { return o.decisions }
+
+// Multi returns a width-k multi-RHS view of the operator: one call
+// multiplies k vectors while streaming the matrix once (§2.1's
+// multiple-vectors optimization). The backing CSR is built on first hook
+// use and views are cached per width, so a serving layer can request the
+// same width repeatedly at zero cost. Multi is safe for concurrent use,
+// as are the returned views. It fails for operators without a coordinate
+// source (CompileSymmetric).
+func (o *Operator) Multi(width int) (*MultiOperator, error) {
+	o.multiMu.Lock()
+	defer o.multiMu.Unlock()
+	if mo, ok := o.multi[width]; ok {
+		return mo, nil
+	}
+	csr, err := o.csrLocked()
+	if err != nil {
+		return nil, err
+	}
+	mv, err := kernel.NewMultiVec(csr, width)
+	if err != nil {
+		return nil, err
+	}
+	mo := &MultiOperator{mv: mv, rows: o.rows, cols: o.cols}
+	if o.multi == nil {
+		o.multi = make(map[int]*MultiOperator)
+	}
+	o.multi[width] = mo
+	return mo, nil
+}
+
+// RowRange is a half-open row interval [Lo, Hi) with its nonzero count,
+// produced by RowPartition for shard planning.
+type RowRange struct {
+	Lo, Hi int
+	NNZ    int64
+}
+
+// RowPartition splits the operator's rows into n contiguous ranges
+// balanced by nonzeros (the paper's §4.3 static load balancing). Disjoint
+// ranges own disjoint destination rows, so shards of one sweep — serial or
+// multi-RHS via MulAddRows — can run concurrently with no locking.
+func (o *Operator) RowPartition(n int) ([]RowRange, error) {
+	o.multiMu.Lock()
+	csr, err := o.csrLocked()
+	o.multiMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.ByNNZ(csr.RowPtr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RowRange, len(p.Ranges))
+	for i, r := range p.Ranges {
+		out[i] = RowRange{Lo: r.Lo, Hi: r.Hi, NNZ: r.NNZ}
+	}
+	return out, nil
+}
+
+// TrafficOptions configures the DRAM-traffic model of internal/traffic.
+type TrafficOptions = traffic.Options
+
+// TrafficSummary is the modeled DRAM traffic and operation counts of one
+// sweep; its MultiRHS method scales it to a fused k-vector sweep.
+type TrafficSummary = traffic.Summary
+
+// Traffic models the DRAM traffic of one y ← A·x sweep over the compiled
+// encoding (§5.1's flop:byte analysis, made executable). Parallel
+// composites fall back to the retained CSR stream, which is also what
+// multi-RHS sweeps stream.
+func (o *Operator) Traffic(opt TrafficOptions) (TrafficSummary, error) {
+	s, err := traffic.Analyze(o.k.Format(), opt)
+	if err != nil && o.src != nil {
+		o.multiMu.Lock()
+		csr, cerr := o.csrLocked()
+		o.multiMu.Unlock()
+		if cerr != nil {
+			return TrafficSummary{}, cerr
+		}
+		return traffic.Analyze(csr, opt)
+	}
+	return s, err
+}
 
 // CompileSymmetric compiles a numerically symmetric matrix into an
 // operator backed by upper-triangle (SymCSR) storage, halving the matrix
@@ -340,4 +457,32 @@ func (o *MultiOperator) MulAll(xs [][]float64) ([][]float64, error) {
 		return nil, err
 	}
 	return kernel.Deinterleave(yBlock, o.mv.Vectors())
+}
+
+// Dims returns (rows, cols).
+func (o *MultiOperator) Dims() (rows, cols int) { return o.rows, o.cols }
+
+// MulAddBlock computes Y ← Y + A·X over interleaved blocks (X[j*k+v] is
+// element j of vector v; see Interleave). Callers that keep vectors in
+// block layout avoid the pack/unpack of MulAll.
+func (o *MultiOperator) MulAddBlock(yBlock, xBlock []float64) error {
+	return o.mv.MulAdd(yBlock, xBlock)
+}
+
+// MulAddRows computes rows [lo, hi) of Y ← Y + A·X over interleaved
+// blocks. Disjoint row ranges write disjoint regions of yBlock, so the
+// shards of one fused sweep (see Operator.RowPartition) run concurrently
+// without synchronization.
+func (o *MultiOperator) MulAddRows(yBlock, xBlock []float64, lo, hi int) error {
+	return o.mv.MulAddRows(yBlock, xBlock, lo, hi)
+}
+
+// Interleave packs k equal-length column vectors into the row-major block
+// layout the multi-RHS kernels consume.
+func Interleave(xs [][]float64) ([]float64, error) { return kernel.Interleave(xs) }
+
+// Deinterleave unpacks a block produced by the multi-RHS kernels back into
+// k column vectors.
+func Deinterleave(block []float64, k int) ([][]float64, error) {
+	return kernel.Deinterleave(block, k)
 }

@@ -432,3 +432,112 @@ func TestReorderRCM(t *testing.T) {
 		t.Error("rectangular matrix accepted")
 	}
 }
+
+// TestOperatorMultiRHSHooks covers the serving-layer hooks: cached Multi
+// views, nonzero-balanced RowPartition, sharded MulAddRows, and Traffic.
+func TestOperatorMultiRHSHooks(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := buildRandom(t, rng, 120, 90, 1000)
+	op, err := spmv.Compile(m, spmv.DefaultTuneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Multi views are cached per width.
+	mo4a, err := op.Multi(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo4b, err := op.Multi(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo4a != mo4b {
+		t.Error("Multi(4) not cached")
+	}
+	if mo2, err := op.Multi(2); err != nil || mo2 == mo4a {
+		t.Errorf("Multi(2) = %v, %v", mo2, err)
+	}
+	if r, c := mo4a.Dims(); r != 120 || c != 90 {
+		t.Errorf("multi dims %dx%d", r, c)
+	}
+
+	// RowPartition tiles the rows and balances nonzeros.
+	parts, err := op.RowPartition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, total := 0, int64(0)
+	for _, p := range parts {
+		if p.Lo != at {
+			t.Fatalf("partition gap at row %d: %+v", at, parts)
+		}
+		at = p.Hi
+		total += p.NNZ
+	}
+	if at != 120 || total != op.NNZ() {
+		t.Errorf("partition covers %d rows / %d nnz, want 120 / %d", at, total, op.NNZ())
+	}
+
+	// A sweep sharded by the partition matches per-vector reference Muls.
+	xs := make([][]float64, 4)
+	for v := range xs {
+		xs[v] = make([]float64, 90)
+		for i := range xs[v] {
+			xs[v][i] = rng.NormFloat64()
+		}
+	}
+	xBlock, err := spmv.Interleave(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yBlock := make([]float64, 120*4)
+	for _, p := range parts {
+		if err := mo4a.MulAddRows(yBlock, xBlock, p.Lo, p.Hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ys, err := spmv.Deinterleave(yBlock, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ys {
+		want := naiveMul(m, xs[v])
+		for i := range want {
+			if math.Abs(ys[v][i]-want[i]) > 1e-9 {
+				t.Fatalf("vector %d row %d: %g vs %g", v, i, ys[v][i], want[i])
+			}
+		}
+	}
+
+	// Traffic models the sweep and scales under MultiRHS.
+	tr, err := op.Traffic(spmv.TrafficOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MatrixBytes <= 0 || tr.Flops != 2*op.NNZ() {
+		t.Errorf("traffic %+v", tr)
+	}
+	fused := tr.MultiRHS(4)
+	if fused.MatrixBytes != tr.MatrixBytes || fused.Flops != 4*tr.Flops || fused.SourceBytes != 4*tr.SourceBytes {
+		t.Errorf("MultiRHS scaling wrong: %+v vs %+v", fused, tr)
+	}
+
+	// Symmetric operators have no CSR backing for these hooks.
+	sym := spmv.NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		if err := sym.Set(i, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sop, err := spmv.CompileSymmetric(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sop.Multi(2); err == nil {
+		t.Error("Multi on symmetric operator accepted")
+	}
+	if _, err := sop.RowPartition(2); err == nil {
+		t.Error("RowPartition on symmetric operator accepted")
+	}
+}
