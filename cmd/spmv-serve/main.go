@@ -3,14 +3,24 @@
 // that coalesces concurrent single-vector requests into fused multi-RHS
 // sweeps, and a worker pool sharded over nonzero-balanced row partitions.
 //
+// With -members or -peers the server additionally fronts a shard
+// coordinator: registering a matrix with "shards": K splits it into
+// nonzero-balanced row bands across the member nodes, and Muls against it
+// broadcast x and gather the disjoint y bands (replica-aware routing with
+// retry and ejection).
+//
 //	go run ./cmd/spmv-serve [-addr :8707] [-preload FEM/Cantilever:0.05,LP:0.05]
+//	go run ./cmd/spmv-serve -members 4 -replicas 2 -preload LP:0.1:4   # in-process fleet
+//	go run ./cmd/spmv-serve -peers http://n1:8707,http://n2:8707       # remote fleet
 //
 // Endpoints:
 //
 //	POST /v1/matrices          {"suite":"QCD","scale":0.05} | {"rows","cols","entries"} | {"matrix_market"}
-//	GET  /v1/matrices          list registered matrices
+//	                           + optional {"shards":4} on a cluster front
+//	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
-//	GET  /v1/stats             JSON counters
+//	GET  /v1/stats             JSON counters (+ cluster rollup)
+//	GET  /v1/cluster           shard topology
 //	GET  /metrics              Prometheus-style counters
 package main
 
@@ -23,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	spmv "repro"
 	"repro/internal/server"
 )
 
@@ -34,8 +45,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "widest fused sweep (1 disables batching)")
 	window := flag.Duration("batch-window", 200*time.Microsecond, "batch linger window")
 	adaptive := flag.Bool("adaptive", true, "skip the linger for lone requests when traffic is sparse")
+	deterministic := flag.Bool("deterministic", true, "topology-invariant numerics: identical bits regardless of batch width or shard count")
 	maxSweeps := flag.Int("max-concurrent-sweeps", 0, "concurrent sweep limit (0 = workers)")
-	preload := flag.String("preload", "", "comma-separated suite matrices to register at startup, name[:scale] each")
+	members := flag.Int("members", 0, "in-process shard member nodes (forms a cluster; for demos and smoke tests)")
+	peers := flag.String("peers", "", "comma-separated member base URLs (http://host:port) forming a cluster")
+	replicas := flag.Int("replicas", 1, "member replicas per shard band")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive member failures before ejection from routing")
+	preload := flag.String("preload", "", "comma-separated suite matrices to register at startup, name[:scale[:shards]] each")
 	seed := flag.Int64("seed", 1, "generator seed for preloaded matrices")
 	flag.Parse()
 
@@ -46,19 +62,57 @@ func main() {
 	cfg.MaxBatch = *maxBatch
 	cfg.BatchWindow = *window
 	cfg.Adaptive = *adaptive
+	cfg.Deterministic = *deterministic
 	cfg.MaxConcurrentSweeps = *maxSweeps
 	s := server.New(cfg)
 	defer s.Close()
 
+	var transports []server.Transport
+	for i := 0; i < *members; i++ {
+		ms := server.New(cfg)
+		defer ms.Close()
+		transports = append(transports, server.NewLocalTransport(fmt.Sprintf("local%d", i), ms))
+	}
+	if *peers != "" {
+		for _, u := range strings.Split(*peers, ",") {
+			transports = append(transports, server.NewHTTPTransport(strings.TrimSpace(u), nil))
+		}
+	}
+	if len(transports) > 0 {
+		cluster, err := server.NewCluster(transports, server.ClusterConfig{
+			Replicas: *replicas, EjectAfter: *ejectAfter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.AttachCluster(cluster)
+		for _, m := range cluster.Members() {
+			log.Printf("cluster member %s", m.Name)
+		}
+	}
+
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
-			name, scale := spec, 0.02
-			if i := strings.LastIndex(spec, ":"); i > 0 {
-				f, err := strconv.ParseFloat(spec[i+1:], 64)
+			name, scale, nshards, err := parsePreload(spec)
+			if err != nil {
+				log.Fatalf("preload %q: %v", spec, err)
+			}
+			if nshards >= 2 {
+				c := s.Cluster()
+				if c == nil {
+					log.Fatalf("preload %q: %d shards requested but no -members/-peers", spec, nshards)
+				}
+				m, err := spmv.GenerateSuite(name, scale, *seed)
 				if err != nil {
 					log.Fatalf("preload %q: %v", spec, err)
 				}
-				name, scale = spec[:i], f
+				info, err := c.RegisterSharded("", name, m, nshards)
+				if err != nil {
+					log.Fatalf("preload %q: %v", spec, err)
+				}
+				log.Printf("preloaded %s as %q: %dx%d, %d nnz, %d shards x %d replicas",
+					name, info.ID, info.Rows, info.Cols, info.NNZ, info.Shards, info.Replicas)
+				continue
 			}
 			info, err := s.RegisterSuite("", name, scale, *seed)
 			if err != nil {
@@ -69,10 +123,31 @@ func main() {
 		}
 	}
 
-	log.Printf("spmv-serve listening on %s (max-batch %d, window %v, adaptive %v)",
-		*addr, cfg.MaxBatch, cfg.BatchWindow, cfg.Adaptive)
+	log.Printf("spmv-serve listening on %s (max-batch %d, window %v, adaptive %v, deterministic %v)",
+		*addr, cfg.MaxBatch, cfg.BatchWindow, cfg.Adaptive, cfg.Deterministic)
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(fmt.Errorf("spmv-serve: %w", err))
 	}
+}
+
+// parsePreload splits one name[:scale[:shards]] preload spec. Suite names
+// contain "/" but never ":".
+func parsePreload(spec string) (name string, scale float64, shards int, err error) {
+	parts := strings.Split(spec, ":")
+	name, scale = parts[0], 0.02
+	if len(parts) >= 2 {
+		if scale, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return "", 0, 0, err
+		}
+	}
+	if len(parts) >= 3 {
+		if shards, err = strconv.Atoi(parts[2]); err != nil {
+			return "", 0, 0, err
+		}
+	}
+	if len(parts) > 3 {
+		return "", 0, 0, fmt.Errorf("want name[:scale[:shards]]")
+	}
+	return name, scale, shards, nil
 }

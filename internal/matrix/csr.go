@@ -40,7 +40,11 @@ func NewCSR[I Index](m *COO) (*CSR[I], error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
+	// Stable sort: duplicate (row, col) entries keep their insertion order,
+	// so they are summed in a deterministic sequence. Any sub-matrix that
+	// preserves insertion order (e.g. a shard coordinator's row bands)
+	// then reproduces the full matrix's per-row accumulation bit for bit.
+	sort.SliceStable(order, func(a, b int) bool {
 		ka, kb := order[a], order[b]
 		if m.RowIdx[ka] != m.RowIdx[kb] {
 			return m.RowIdx[ka] < m.RowIdx[kb]

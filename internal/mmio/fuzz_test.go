@@ -6,10 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzRead exercises the parser against arbitrary inputs: it must never
+// FuzzParse exercises the parser against arbitrary inputs: it must never
 // panic, and anything it accepts must round-trip through Write/Read
 // losslessly (dimension- and count-wise).
-func FuzzRead(f *testing.F) {
+func FuzzParse(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n")
 	f.Add("%%MatrixMarket matrix array real general\n2 1\n1\n0\n")

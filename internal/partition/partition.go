@@ -121,6 +121,20 @@ func ByNNZ(rowPtr []int64, n int) (*Partition, error) {
 	return p, p.Validate()
 }
 
+// ByNNZCounts is ByNNZ for matrices not yet in CSR form: counts[i] is the
+// number of nonzeros in row i. The shard coordinator uses it to band a
+// coordinate-form matrix across member nodes before any node builds CSR.
+func ByNNZCounts(counts []int64, n int) (*Partition, error) {
+	rowPtr := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("partition: negative count %d at row %d", c, i)
+		}
+		rowPtr[i+1] = rowPtr[i] + c
+	}
+	return ByNNZ(rowPtr, n)
+}
+
 // EqualRows partitions rows into n contiguous ranges with (near-)equal row
 // counts, PETSc's default block-row distribution. Nonzero counts are
 // recorded so callers can observe the resulting imbalance.

@@ -249,3 +249,30 @@ func TestFixedWidthSpans(t *testing.T) {
 		t.Errorf("oversize width: %+v", got)
 	}
 }
+
+func TestByNNZCounts(t *testing.T) {
+	counts := []int64{5, 0, 12, 3, 3, 7, 0, 10}
+	p, err := ByNNZCounts(counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with ByNNZ over the equivalent row pointer.
+	want, err := ByNNZ(rowPtrFromCounts(counts), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ranges) != len(want.Ranges) {
+		t.Fatalf("%d ranges, want %d", len(p.Ranges), len(want.Ranges))
+	}
+	for i := range p.Ranges {
+		if p.Ranges[i] != want.Ranges[i] {
+			t.Errorf("range %d: %+v, want %+v", i, p.Ranges[i], want.Ranges[i])
+		}
+	}
+	if _, err := ByNNZCounts([]int64{1, -2, 3}, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+}

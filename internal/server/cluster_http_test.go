@@ -1,0 +1,156 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	spmv "repro"
+)
+
+// TestClusterHTTPEndToEnd runs a full sharded topology over real HTTP:
+// member spmv-serve nodes behind httptest servers, an HTTPTransport per
+// member, and a front server with the coordinator attached. Results must
+// match in-process single-node serving bit for bit (the MatrixMarket wire
+// format writes %.17g, so floats survive the hop).
+func TestClusterHTTPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins four HTTP servers")
+	}
+	const members = 2
+	transports := make([]Transport, members)
+	for i := range transports {
+		ms := New(DefaultConfig())
+		t.Cleanup(ms.Close)
+		mts := httptest.NewServer(ms.Handler())
+		t.Cleanup(mts.Close)
+		transports[i] = NewHTTPTransport(mts.URL, nil)
+	}
+	cluster, err := NewCluster(transports, ClusterConfig{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := New(DefaultConfig())
+	defer front.Close()
+	front.AttachCluster(cluster)
+	fts := httptest.NewServer(front.Handler())
+	defer fts.Close()
+
+	// Register an LP twin sharded 2 ways via the front's HTTP API.
+	resp := postJSON(t, fts.URL+"/v1/matrices", registerRequest{
+		ID: "lp", Suite: "LP", Scale: 0.02, Seed: 7, Shards: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sharded register status %d", resp.StatusCode)
+	}
+	info := decode[ShardedMatrixInfo](t, resp)
+	if info.Shards != 2 || info.Replicas != 2 || len(info.Bands) != 2 {
+		t.Fatalf("sharded info %+v", info)
+	}
+
+	// Single-node reference through the plain serving path.
+	m, err := spmv.GenerateSuite("LP", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := New(DefaultConfig())
+	defer single.Close()
+	if _, err := single.Register("lp", "LP", m); err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(info.Cols, 3)
+	want, err := single.Mul("lp", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp = postJSON(t, fts.URL+"/v1/matrices/lp/mul", mulRequest{X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded mul status %d", resp.StatusCode)
+	}
+	got := decode[mulResponse](t, resp).Y
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %x over HTTP, single-node %x", i, got[i], want[i])
+		}
+	}
+
+	// The listing shows the sharded matrix; /v1/cluster shows topology;
+	// /v1/stats carries the rollup.
+	listResp, err := http.Get(fts.URL + "/v1/matrices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]MatrixInfo](t, listResp)
+	if len(list) != 1 || list[0].Kernel != "sharded" || list[0].Replicas != 2 {
+		t.Fatalf("list %+v", list)
+	}
+
+	topoResp, err := http.Get(fts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := decode[clusterResponse](t, topoResp)
+	if len(topo.Members) != members || len(topo.Matrices) != 1 {
+		t.Fatalf("topology %+v", topo)
+	}
+
+	stResp, err := http.Get(fts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[statsResponse](t, stResp)
+	if st.Cluster == nil {
+		t.Fatal("stats missing cluster rollup")
+	}
+	if st.Cluster.Requests != 1 || st.Cluster.Scatters != 2 {
+		t.Errorf("cluster requests=%d scatters=%d, want 1/2", st.Cluster.Requests, st.Cluster.Scatters)
+	}
+	// 2 bands x 2 replicas registered across the fleet.
+	if st.Cluster.Aggregate.Registered != 4 {
+		t.Errorf("aggregate registered %d, want 4", st.Cluster.Aggregate.Registered)
+	}
+
+	// The metrics endpoint exposes the cluster counters.
+	metResp, err := http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metResp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := metResp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "spmv_cluster_requests_total 1") {
+		t.Error("metrics missing spmv_cluster_requests_total")
+	}
+
+	// A non-cluster server 404s /v1/cluster.
+	plain := httptest.NewServer(single.Handler())
+	defer plain.Close()
+	r, err := http.Get(plain.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("plain /v1/cluster status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestShardsWithoutCluster: a plain server rejects sharded registration.
+func TestShardsWithoutCluster(t *testing.T) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		Rows: 2, Cols: 2, Entries: [][3]float64{{0, 0, 1}, {1, 1, 2}}, Shards: 2,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("shards on plain server: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -11,9 +11,13 @@ import (
 
 // registerRequest is the body of POST /v1/matrices. Exactly one matrix
 // source must be provided: a Table 3 suite twin, explicit COO entries, or
-// an inline MatrixMarket document.
+// an inline MatrixMarket document. Shards >= 2 asks the attached shard
+// coordinator to split the matrix into that many nonzero-balanced row
+// bands across the cluster's member nodes.
 type registerRequest struct {
-	ID string `json:"id,omitempty"`
+	ID     string `json:"id,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 
 	// Suite twin generation.
 	Suite string  `json:"suite,omitempty"`
@@ -43,10 +47,11 @@ type errorResponse struct {
 
 // Handler returns the HTTP API of the serving subsystem:
 //
-//	POST /v1/matrices          register a matrix (suite | entries | matrix_market)
-//	GET  /v1/matrices          list registered matrices
+//	POST /v1/matrices          register a matrix (suite | entries | matrix_market; optional shards)
+//	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul compute y = A·x (coalesced with concurrent calls)
-//	GET  /v1/stats             JSON counter snapshot
+//	GET  /v1/stats             JSON counter snapshot (+ cluster rollup when attached)
+//	GET  /v1/cluster           shard topology: members and sharded matrices
 //	GET  /metrics              Prometheus-style counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -54,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -74,7 +80,49 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	var info MatrixInfo
+	m, name, err := matrixFromRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fail := func(err error) {
+		code := http.StatusBadRequest
+		switch {
+		case strings.Contains(err.Error(), "already registered"):
+			code = http.StatusConflict
+		case strings.Contains(err.Error(), "on member"):
+			// A member or transport fault during sharded registration is
+			// the fleet's failure, not the client's request.
+			code = http.StatusBadGateway
+		}
+		writeError(w, code, err)
+	}
+	if req.Shards >= 2 {
+		if s.cluster == nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("shards=%d requested but this server fronts no cluster", req.Shards))
+			return
+		}
+		info, err := s.cluster.RegisterSharded(req.ID, name, m, req.Shards)
+		if err != nil {
+			fail(err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
+	info, err := s.Register(req.ID, name, m)
+	if err != nil {
+		fail(err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// matrixFromRequest builds the matrix named by one register request.
+func matrixFromRequest(req registerRequest) (*spmv.Matrix, string, error) {
+	var m *spmv.Matrix
+	var name string
 	var err error
 	switch {
 	case req.Suite != "":
@@ -82,31 +130,21 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if scale <= 0 {
 			scale = 0.02
 		}
-		info, err = s.RegisterSuite(req.ID, req.Suite, scale, req.Seed)
+		m, err = spmv.GenerateSuite(req.Suite, scale, req.Seed)
+		name = req.Suite
 	case len(req.Entries) > 0:
-		var m *spmv.Matrix
 		m, err = matrixFromEntries(req.Rows, req.Cols, req.Entries)
-		if err == nil {
-			info, err = s.Register(req.ID, "upload", m)
-		}
+		name = "upload"
 	case req.MatrixMarket != "":
-		var m *spmv.Matrix
 		m, err = spmv.ReadMatrixMarket(strings.NewReader(req.MatrixMarket))
-		if err == nil {
-			info, err = s.Register(req.ID, "matrixmarket", m)
-		}
+		name = "matrixmarket"
 	default:
 		err = fmt.Errorf("provide one of suite, entries, matrix_market")
 	}
-	if err != nil {
-		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "already registered") {
-			code = http.StatusConflict
-		}
-		writeError(w, code, err)
-		return
+	if req.Name != "" {
+		name = req.Name
 	}
-	writeJSON(w, http.StatusCreated, info)
+	return m, name, err
 }
 
 func matrixFromEntries(rows, cols int, entries [][3]float64) (*spmv.Matrix, error) {
@@ -127,7 +165,17 @@ func matrixFromEntries(rows, cols int, entries [][3]float64) (*spmv.Matrix, erro
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Client().Matrices())
+	list := s.Client().Matrices()
+	if s.cluster != nil {
+		for _, si := range s.cluster.Matrices() {
+			list = append(list, MatrixInfo{
+				ID: si.ID, Name: si.Name, Rows: si.Rows, Cols: si.Cols, NNZ: si.NNZ,
+				Kernel: "sharded", Shards: si.Shards, Replicas: si.Replicas,
+				SweepBytes: si.MaxBandSweepBytes,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
@@ -137,11 +185,20 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	y, err := s.Mul(id, req.X)
+	var y []float64
+	var err error
+	if s.cluster != nil && s.cluster.Has(id) {
+		y, err = s.cluster.Mul(id, req.X)
+	} else {
+		y, err = s.Mul(id, req.X)
+	}
 	if err != nil {
 		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "unknown matrix") {
+		switch {
+		case strings.Contains(err.Error(), "unknown matrix"), strings.Contains(err.Error(), "unknown sharded matrix"):
 			code = http.StatusNotFound
+		case strings.Contains(err.Error(), "replicas ejected"), strings.Contains(err.Error(), "failed on all live replicas"):
+			code = http.StatusBadGateway
 		}
 		writeError(w, code, err)
 		return
@@ -149,8 +206,38 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mulResponse{Y: y})
 }
 
+// statsResponse is /v1/stats: the local serving counters, plus the cluster
+// rollup when this server fronts a shard coordinator. The embedded Stats
+// keeps the flat single-node schema stable for existing consumers.
+type statsResponse struct {
+	Stats
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	resp := statsResponse{Stats: s.Stats()}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		resp.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterResponse is GET /v1/cluster: the shard topology.
+type clusterResponse struct {
+	Members  []MemberInfo        `json:"members"`
+	Matrices []ShardedMatrixInfo `json:"matrices"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this server fronts no cluster"))
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Members:  s.cluster.Members(),
+		Matrices: s.cluster.Matrices(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -176,5 +263,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if n > 0 {
 			fmt.Fprintf(w, "spmv_serve_fused_width{width=%q} %d\n", fmt.Sprint(wd), n)
 		}
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		put("spmv_cluster_members", "gauge", "Cluster member nodes.", cs.Members)
+		put("spmv_cluster_members_ejected", "gauge", "Members ejected from routing.", cs.Ejected)
+		put("spmv_cluster_matrices", "gauge", "Sharded matrices served.", cs.Matrices)
+		put("spmv_cluster_requests_total", "counter", "Sharded Mul requests admitted.", cs.Requests)
+		put("spmv_cluster_scatters_total", "counter", "Band sub-requests issued.", cs.Scatters)
+		put("spmv_cluster_retries_total", "counter", "Failed band sub-request attempts.", cs.Retries)
+		put("spmv_cluster_failovers_total", "counter", "Bands served by a fallback replica.", cs.Failovers)
+		put("spmv_cluster_ejections_total", "counter", "Member ejections.", cs.Ejections)
 	}
 }

@@ -34,16 +34,30 @@ type Config struct {
 	// Adaptive lets lone requests skip the linger when traffic is sparse
 	// (see batcher). Dense traffic still coalesces.
 	Adaptive bool
+	// Deterministic pins the serving numerics: every request — lone or
+	// fused, served by one node or scattered over a sharded fleet — is
+	// computed by the CSR multi-RHS kernels, which accumulate each row
+	// strictly in column order. Responses are then bitwise identical
+	// regardless of batch width, shard count, or replica choice, the
+	// consistency a fleet needs for caching and verification downstream.
+	// When false, lone requests run the tuned (register/cache-blocked)
+	// operator instead: a smaller matrix stream on the sparse-traffic
+	// path, at the cost of low-order bits that vary with the tuner's
+	// blocking decisions (tile-local partial sums reassociate the row
+	// reductions).
+	Deterministic bool
 }
 
 // DefaultConfig serves with the full §4.2 tuner, GOMAXPROCS workers, up to
-// 8-wide fusion and a 200µs linger with adaptive fallback.
+// 8-wide fusion, a 200µs linger with adaptive fallback, and deterministic
+// (topology-invariant) numerics.
 func DefaultConfig() Config {
 	return Config{
-		Tune:        spmv.DefaultTuneOptions(),
-		MaxBatch:    8,
-		BatchWindow: 200 * time.Microsecond,
-		Adaptive:    true,
+		Tune:          spmv.DefaultTuneOptions(),
+		MaxBatch:      8,
+		BatchWindow:   200 * time.Microsecond,
+		Adaptive:      true,
+		Deterministic: true,
 	}
 }
 
@@ -56,6 +70,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
+
+	// cluster, when attached, makes this server the front of a sharded
+	// fleet: registrations with shards >= 2 and Muls against sharded ids
+	// route through it. Set once before serving (AttachCluster).
+	cluster *Cluster
 }
 
 // New starts a server. Call Close to stop its workers.
@@ -83,6 +102,15 @@ func (s *Server) Close() { s.pool.Close() }
 // Registry exposes the underlying registry (read-mostly callers: List/Get).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// AttachCluster makes the server front a shard coordinator. Call it once,
+// before the server starts taking requests: the HTTP layer then accepts
+// sharded registrations ("shards": K) and routes Muls against sharded ids
+// through the coordinator, and /v1/stats grows the cluster rollup.
+func (s *Server) AttachCluster(c *Cluster) { s.cluster = c }
+
+// Cluster returns the attached shard coordinator, or nil.
+func (s *Server) Cluster() *Cluster { return s.cluster }
+
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats { return s.st.snapshot() }
 
@@ -99,7 +127,8 @@ type MatrixInfo struct {
 	Savings    float64 `json:"savings"`
 	Threads    int     `json:"threads"`
 	Shards     int     `json:"shards"`
-	SweepBytes int64   `json:"sweep_bytes"` // modeled DRAM bytes per single-RHS sweep
+	Replicas   int     `json:"replicas,omitempty"` // > 0 only for cluster-sharded matrices
+	SweepBytes int64   `json:"sweep_bytes"`        // modeled DRAM bytes per single-RHS sweep
 }
 
 func (s *Server) info(e *Entry) MatrixInfo {
@@ -197,8 +226,10 @@ func (s *Server) batcherFor(e *Entry) *batcher {
 	return b
 }
 
-// executeBatch runs one closed batch: a fused multi-RHS sweep sharded over
-// the pool when width >= 2, the per-request parallel operator otherwise.
+// executeBatch runs one closed batch as a multi-RHS sweep sharded over the
+// pool. Width-1 batches take the same CSR sweep path when Deterministic
+// (so lone and fused requests produce identical bits) and the per-request
+// tuned parallel operator otherwise.
 func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 	width := len(reqs)
 	fail := func(err error) {
@@ -206,7 +237,7 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 			p.ch <- mulResult{err: err}
 		}
 	}
-	if width == 1 {
+	if width == 1 && !s.cfg.Deterministic {
 		var y []float64
 		var err error
 		s.pool.RunSweep([]func(){func() { y, err = e.def.Mul(reqs[0].x) }})

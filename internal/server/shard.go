@@ -1,0 +1,481 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	spmv "repro"
+	"repro/internal/partition"
+)
+
+// ClusterConfig sizes the shard coordinator.
+type ClusterConfig struct {
+	// Replicas is how many members serve each shard band (read scaling and
+	// failover). Clamped to the member count; <= 0 means 1.
+	Replicas int
+	// EjectAfter is the number of consecutive failures after which a member
+	// stops receiving traffic. <= 0 means 3. Ejection is sticky for the
+	// coordinator's lifetime: a fleet that lost a node keeps serving from
+	// the surviving replicas until an operator restarts the coordinator
+	// with a repaired member list.
+	EjectAfter int
+}
+
+// Member is one node of the cluster with its routing health state.
+type Member struct {
+	t    Transport
+	name string
+
+	requests atomic.Uint64 // successful band sub-requests
+	failures atomic.Uint64 // failed band sub-requests
+	consec   atomic.Int32  // consecutive failures (reset on success)
+	ejected  atomic.Bool
+}
+
+// MemberInfo is the topology view of one member.
+type MemberInfo struct {
+	Name     string `json:"name"`
+	Ejected  bool   `json:"ejected"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+}
+
+// band is one shard of a sharded matrix: a contiguous row range served by
+// one or more replica members.
+type band struct {
+	shard  int
+	lo, hi int
+	nnz    int64
+	subID  string // the band's matrix id on its members
+
+	// Modeled DRAM bytes one single-RHS sweep moves on a member serving
+	// this band — the per-node cost of one scattered request, and the
+	// input to the bandwidth-bound scaling model.
+	sweepBytes int64
+
+	replicas []*Member
+	next     atomic.Uint32 // round-robin cursor over replicas
+}
+
+// shardedEntry is one matrix split across the cluster.
+type shardedEntry struct {
+	id, name   string
+	rows, cols int
+	nnz        int64
+	replicas   int
+	bands      []*band
+}
+
+// BandInfo is the topology view of one shard band.
+type BandInfo struct {
+	Shard      int      `json:"shard"`
+	Lo         int      `json:"lo"`
+	Hi         int      `json:"hi"`
+	NNZ        int64    `json:"nnz"`
+	SubID      string   `json:"sub_id"`
+	Members    []string `json:"members"`
+	SweepBytes int64    `json:"sweep_bytes"`
+}
+
+// ShardedMatrixInfo describes one matrix served by the cluster.
+type ShardedMatrixInfo struct {
+	ID       string     `json:"id"`
+	Name     string     `json:"name,omitempty"`
+	Rows     int        `json:"rows"`
+	Cols     int        `json:"cols"`
+	NNZ      int64      `json:"nnz"`
+	Shards   int        `json:"shards"`
+	Replicas int        `json:"replicas"`
+	Bands    []BandInfo `json:"bands"`
+	// MaxBandSweepBytes is the modeled per-request DRAM bytes on the
+	// most-loaded member — the bottleneck of the bandwidth-bound aggregate
+	// throughput model (a node sustaining BW serves at most
+	// BW/MaxBandSweepBytes requests/s; see traffic.SustainedSweepRate).
+	MaxBandSweepBytes int64 `json:"max_band_sweep_bytes"`
+}
+
+// Cluster is the shard coordinator: it splits each registered matrix into
+// nonzero-balanced row bands (internal/partition, the paper's §4.3 static
+// load balancing lifted from threads to nodes), registers every band on
+// Replicas member nodes, and serves Mul by broadcasting x to all bands and
+// gathering the disjoint y bands — the same row-block decomposition the
+// paper's OSKI-PETSc baseline runs over MPI ranks (§6.2), here behind a
+// Transport so members can be in-process servers or remote spmv-serve
+// nodes. Each member keeps its own tuner cache, adaptive batcher, and
+// fused sweeps, so concurrent cluster requests still coalesce into
+// multi-RHS sweeps on every member.
+//
+// All methods are safe for concurrent use.
+type Cluster struct {
+	cfg     ClusterConfig
+	members []*Member
+
+	mu      sync.RWMutex
+	byID    map[string]*shardedEntry
+	pending map[string]bool // ids mid-registration
+	seq     int
+
+	requests  atomic.Uint64 // cluster Mul requests admitted
+	scatters  atomic.Uint64 // band sub-requests issued
+	retries   atomic.Uint64 // failed band sub-request attempts
+	failovers atomic.Uint64 // bands served by a non-first replica attempt
+	ejections atomic.Uint64 // members ejected
+}
+
+// NewCluster builds a coordinator over the given member transports.
+func NewCluster(members []Transport, cfg ClusterConfig) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("server: cluster needs at least one member")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(members) {
+		cfg.Replicas = len(members)
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	c := &Cluster{cfg: cfg, byID: make(map[string]*shardedEntry), pending: make(map[string]bool)}
+	for _, t := range members {
+		c.members = append(c.members, &Member{t: t, name: t.Name()})
+	}
+	return c, nil
+}
+
+// Members returns the topology view of every member.
+func (c *Cluster) Members() []MemberInfo {
+	out := make([]MemberInfo, len(c.members))
+	for i, m := range c.members {
+		out[i] = MemberInfo{
+			Name: m.name, Ejected: m.ejected.Load(),
+			Requests: m.requests.Load(), Failures: m.failures.Load(),
+		}
+	}
+	return out
+}
+
+// Has reports whether id is served by the cluster.
+func (c *Cluster) Has(id string) bool {
+	c.mu.RLock()
+	_, ok := c.byID[id]
+	c.mu.RUnlock()
+	return ok
+}
+
+// Info returns the sharded topology of one matrix.
+func (c *Cluster) Info(id string) (ShardedMatrixInfo, error) {
+	c.mu.RLock()
+	e, ok := c.byID[id]
+	c.mu.RUnlock()
+	if !ok {
+		return ShardedMatrixInfo{}, fmt.Errorf("server: unknown sharded matrix %q", id)
+	}
+	return e.info(), nil
+}
+
+// Matrices lists the cluster's sharded matrices ordered by id.
+func (c *Cluster) Matrices() []ShardedMatrixInfo {
+	c.mu.RLock()
+	out := make([]ShardedMatrixInfo, 0, len(c.byID))
+	for _, e := range c.byID {
+		out = append(out, e.info())
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (e *shardedEntry) info() ShardedMatrixInfo {
+	info := ShardedMatrixInfo{
+		ID: e.id, Name: e.name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
+		Shards: len(e.bands), Replicas: e.replicas,
+	}
+	for _, b := range e.bands {
+		bi := BandInfo{
+			Shard: b.shard, Lo: b.lo, Hi: b.hi, NNZ: b.nnz,
+			SubID: b.subID, SweepBytes: b.sweepBytes,
+		}
+		for _, m := range b.replicas {
+			bi.Members = append(bi.Members, m.name)
+		}
+		info.Bands = append(info.Bands, bi)
+		if b.sweepBytes > info.MaxBandSweepBytes {
+			info.MaxBandSweepBytes = b.sweepBytes
+		}
+	}
+	return info
+}
+
+// RegisterSharded splits m into `shards` nonzero-balanced row bands,
+// registers each band on Replicas members (round-robin placement, distinct
+// members per band), and serves the matrix under id from then on. The
+// empty id asks the coordinator to generate one. Registration is not
+// atomic across members: on failure the coordinator reports the error and
+// the id stays free, but bands already registered remain on their members
+// under id-derived sub-ids (member registries are append-only).
+func (c *Cluster) RegisterSharded(id, name string, m *spmv.Matrix, shards int) (ShardedMatrixInfo, error) {
+	if m == nil {
+		return ShardedMatrixInfo{}, fmt.Errorf("server: nil matrix")
+	}
+	rows, cols := m.Dims()
+	if rows <= 0 || cols <= 0 {
+		return ShardedMatrixInfo{}, fmt.Errorf("server: empty matrix %dx%d", rows, cols)
+	}
+	if shards < 1 {
+		return ShardedMatrixInfo{}, fmt.Errorf("server: need at least 1 shard, got %d", shards)
+	}
+	if shards > rows {
+		shards = rows
+	}
+
+	// Reserve the id so concurrent registrations cannot race it; readers
+	// only ever see fully built entries.
+	c.mu.Lock()
+	if id == "" {
+		c.seq++
+		id = fmt.Sprintf("c%d", c.seq)
+	}
+	if _, ok := c.byID[id]; ok || c.pending[id] {
+		c.mu.Unlock()
+		return ShardedMatrixInfo{}, fmt.Errorf("server: matrix %q already registered", id)
+	}
+	c.pending[id] = true
+	c.mu.Unlock()
+
+	e, err := c.buildSharded(id, name, m, rows, cols, shards)
+	c.mu.Lock()
+	delete(c.pending, id)
+	if err == nil {
+		c.byID[id] = e
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return ShardedMatrixInfo{}, err
+	}
+	return e.info(), nil
+}
+
+// buildSharded bands the matrix and registers every band on its replicas.
+func (c *Cluster) buildSharded(id, name string, m *spmv.Matrix, rows, cols, shards int) (*shardedEntry, error) {
+	counts := make([]int64, rows)
+	m.Entries(func(i, j int, v float64) { counts[i]++ })
+	p, err := partition.ByNNZCounts(counts, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the entries into per-band coordinate matrices. bandOf maps a
+	// row to its band so the single pass over the entries stays O(nnz).
+	bandOf := make([]int32, rows)
+	bandMs := make([]*spmv.Matrix, len(p.Ranges))
+	for k, r := range p.Ranges {
+		for i := r.Lo; i < r.Hi; i++ {
+			bandOf[i] = int32(k)
+		}
+		if r.Rows() > 0 {
+			bandMs[k] = spmv.NewMatrix(r.Rows(), cols)
+		}
+	}
+	var setErr error
+	m.Entries(func(i, j int, v float64) {
+		k := bandOf[i]
+		if err := bandMs[k].Set(i-p.Ranges[k].Lo, j, v); err != nil && setErr == nil {
+			setErr = err
+		}
+	})
+	if setErr != nil {
+		return nil, setErr
+	}
+
+	e := &shardedEntry{id: id, name: name, rows: rows, cols: cols, nnz: m.NNZ(), replicas: c.cfg.Replicas}
+	for k, r := range p.Ranges {
+		b := &band{shard: k, lo: r.Lo, hi: r.Hi, nnz: r.NNZ, subID: fmt.Sprintf("%s.s%d", id, k)}
+		e.bands = append(e.bands, b)
+		if bandMs[k] == nil {
+			continue // empty band: no rows to serve
+		}
+		for rep := 0; rep < c.cfg.Replicas; rep++ {
+			mem := c.members[(k+rep)%len(c.members)]
+			info, err := mem.t.Register(b.subID, fmt.Sprintf("%s/shard%d", name, k), bandMs[k])
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d on member %s: %w", k, mem.name, err)
+			}
+			if info.Rows != r.Rows() || info.Cols != cols {
+				return nil, fmt.Errorf("server: shard %d on member %s registered as %dx%d, want %dx%d",
+					k, mem.name, info.Rows, info.Cols, r.Rows(), cols)
+			}
+			if rep == 0 {
+				b.sweepBytes = info.SweepBytes
+			}
+			b.replicas = append(b.replicas, mem)
+		}
+	}
+	return e, nil
+}
+
+// Mul computes y = A·x for the sharded matrix id: x is broadcast to one
+// replica of every band (scatter), the disjoint y bands are gathered into
+// one result. Band sub-requests run concurrently; a failed member is
+// retried on the band's next replica and ejected from routing after
+// EjectAfter consecutive failures.
+func (c *Cluster) Mul(id string, x []float64) ([]float64, error) {
+	c.mu.RLock()
+	e, ok := c.byID[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown sharded matrix %q", id)
+	}
+	if len(x) != e.cols {
+		return nil, fmt.Errorf("server: matrix %q is %dx%d, len(x)=%d", id, e.rows, e.cols, len(x))
+	}
+	c.requests.Add(1)
+
+	y := make([]float64, e.rows)
+	errs := make([]error, len(e.bands))
+	var wg sync.WaitGroup
+	for i, b := range e.bands {
+		if len(b.replicas) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *band) {
+			defer wg.Done()
+			errs[i] = c.mulBand(b, x, y)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return y, nil
+}
+
+// mulBand serves one band: round-robin over its live replicas, retrying on
+// the next replica after a failure.
+func (c *Cluster) mulBand(b *band, x, y []float64) error {
+	c.scatters.Add(1)
+	n := len(b.replicas)
+	start := int(b.next.Add(1)-1) % n
+	var lastErr error
+	tried := 0
+	for a := 0; a < n; a++ {
+		mem := b.replicas[(start+a)%n]
+		if mem.ejected.Load() {
+			continue
+		}
+		tried++
+		yb, err := mem.t.Mul(b.subID, x)
+		if err == nil && len(yb) != b.hi-b.lo {
+			err = fmt.Errorf("server: member %s returned %d rows for band [%d,%d)",
+				mem.name, len(yb), b.lo, b.hi)
+		}
+		if err == nil {
+			mem.requests.Add(1)
+			mem.consec.Store(0)
+			if tried > 1 {
+				c.failovers.Add(1)
+			}
+			copy(y[b.lo:b.hi], yb)
+			return nil
+		}
+		lastErr = err
+		mem.failures.Add(1)
+		c.retries.Add(1)
+		if mem.consec.Add(1) >= int32(c.cfg.EjectAfter) {
+			if mem.ejected.CompareAndSwap(false, true) {
+				c.ejections.Add(1)
+			}
+		}
+	}
+	if tried == 0 {
+		return fmt.Errorf("server: band [%d,%d) of %q: all %d replicas ejected", b.lo, b.hi, b.subID, n)
+	}
+	return fmt.Errorf("server: band [%d,%d) of %q failed on all live replicas: %w", b.lo, b.hi, b.subID, lastErr)
+}
+
+// MemberStats is one member's rollup entry in ClusterStats.
+type MemberStats struct {
+	Name     string `json:"name"`
+	Ejected  bool   `json:"ejected"`
+	Requests uint64 `json:"requests"` // successful band sub-requests routed here
+	Failures uint64 `json:"failures"`
+	Serving  Stats  `json:"serving"` // the member's own serving counters
+	Error    string `json:"error,omitempty"`
+}
+
+// ClusterStats is the coordinator's counter snapshot plus the per-member
+// serving rollup surfaced under "cluster" in /v1/stats.
+type ClusterStats struct {
+	Members   int    `json:"members"`
+	Ejected   int    `json:"ejected"`
+	Matrices  int    `json:"matrices"`
+	Requests  uint64 `json:"requests"`
+	Scatters  uint64 `json:"scatters"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	Ejections uint64 `json:"ejections"`
+
+	Member []MemberStats `json:"member"`
+	// Aggregate sums the reachable members' serving counters: fleet-wide
+	// sweeps, fusion widths, and modeled DRAM bytes.
+	Aggregate Stats `json:"aggregate"`
+}
+
+// Stats snapshots the coordinator and polls every member for its serving
+// counters. Unreachable members report an error string and contribute
+// nothing to the aggregate.
+func (c *Cluster) Stats() ClusterStats {
+	out := ClusterStats{
+		Members:   len(c.members),
+		Requests:  c.requests.Load(),
+		Scatters:  c.scatters.Load(),
+		Retries:   c.retries.Load(),
+		Failovers: c.failovers.Load(),
+		Ejections: c.ejections.Load(),
+	}
+	c.mu.RLock()
+	out.Matrices = len(c.byID)
+	c.mu.RUnlock()
+	for _, m := range c.members {
+		ms := MemberStats{
+			Name: m.name, Ejected: m.ejected.Load(),
+			Requests: m.requests.Load(), Failures: m.failures.Load(),
+		}
+		if ms.Ejected {
+			out.Ejected++
+		}
+		st, err := m.t.Stats()
+		if err != nil {
+			ms.Error = err.Error()
+		} else {
+			ms.Serving = st
+			addStats(&out.Aggregate, st)
+		}
+		out.Member = append(out.Member, ms)
+	}
+	return out
+}
+
+// addStats accumulates b into dst, field by field.
+func addStats(dst *Stats, b Stats) {
+	dst.Requests += b.Requests
+	dst.Sweeps += b.Sweeps
+	dst.FusedSweeps += b.FusedSweeps
+	dst.FusedRequests += b.FusedRequests
+	dst.SingleFallbacks += b.SingleFallbacks
+	for i := range dst.FusedWidthHist {
+		dst.FusedWidthHist[i] += b.FusedWidthHist[i]
+	}
+	dst.Registered += b.Registered
+	dst.Compiles += b.Compiles
+	dst.CompileHits += b.CompileHits
+	dst.MatrixBytes += b.MatrixBytes
+	dst.SourceBytes += b.SourceBytes
+	dst.DestBytes += b.DestBytes
+	dst.SavedBytes += b.SavedBytes
+}

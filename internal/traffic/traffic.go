@@ -80,6 +80,27 @@ func (s Summary) FlopByte() float64 {
 	return float64(s.Flops) / float64(t)
 }
 
+// SustainedRate returns the bandwidth-bound sweep rate (sweeps/second) for
+// a node sustaining bwGBs GB/s of DRAM bandwidth against this sweep's
+// traffic — the §5.1 bound turned into a serving-capacity model: a
+// bandwidth-bound node can complete at most BW / bytes-per-sweep sweeps
+// per second.
+func (s Summary) SustainedRate(bwGBs float64) float64 {
+	return SustainedSweepRate(bwGBs, s.TotalBytes())
+}
+
+// SustainedSweepRate returns the bandwidth-bound rate (sweeps/second) of a
+// node sustaining bwGBs GB/s against a sweep moving the given DRAM bytes.
+// The shard coordinator's scaling model uses it with per-band sweep bytes:
+// a K-shard cluster's aggregate rate is bounded by its most-loaded member,
+// BW / max-band-bytes.
+func SustainedSweepRate(bwGBs float64, bytes int64) float64 {
+	if bytes <= 0 || bwGBs <= 0 {
+		return 0
+	}
+	return bwGBs * 1e9 / float64(bytes)
+}
+
 // MultiRHS returns the traffic of the same sweep fused over k right-hand
 // sides (§2.1's multiple-vectors optimization): the matrix stream is paid
 // once while vector traffic, flops and tile work scale by k. SavedBytes

@@ -316,3 +316,17 @@ func TestQuickFlopsInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSustainedSweepRate(t *testing.T) {
+	// A 10 GB/s node against a 1 MB sweep sustains 10k sweeps/s.
+	if got := SustainedSweepRate(10, 1_000_000); got != 10_000 {
+		t.Errorf("rate %g, want 10000", got)
+	}
+	if SustainedSweepRate(10, 0) != 0 || SustainedSweepRate(0, 100) != 0 {
+		t.Error("degenerate inputs should rate 0")
+	}
+	s := Summary{MatrixBytes: 600_000, SourceBytes: 300_000, DestBytes: 100_000}
+	if got := s.SustainedRate(10); got != 10_000 {
+		t.Errorf("summary rate %g, want 10000", got)
+	}
+}

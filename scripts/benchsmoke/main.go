@@ -1,0 +1,266 @@
+// benchsmoke is the scripted micro-benchmark behind the bench-smoke CI
+// job. It exercises the three performance layers of the repo on small
+// generated matrices and writes a JSON report (BENCH_ci.json) that
+// scripts/benchgate compares against the committed bench_baseline.json:
+//
+//   - kernel: naive CSR vs the §4.2-tuned operator on a Cantilever twin —
+//     measured GFlop/s for both (informational: absolute numbers track the
+//     runner's hardware) plus the deterministic footprint saving (gated).
+//   - serving: examples/serve-loadgen's comparison in miniature — batched
+//     vs unbatched closed-loop serving of an LP twin (the batched:unbatched
+//     ratio is gated against a conservative floor).
+//   - sharding: the K=4 cluster of internal/server over in-process
+//     members — modeled bandwidth-bound aggregate speedup (deterministic,
+//     gated) with bitwise parity against single-node serving enforced as a
+//     hard failure.
+//
+// Refresh the baseline with:
+//
+//	go run ./scripts/benchsmoke -out bench_baseline.json
+//
+// then review the diff before committing: deterministic metrics should
+// move only when the modeled traffic or tuner genuinely changed, and
+// wall-clock floors should stay conservative (see README "benchmark
+// gate").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	spmv "repro"
+	"repro/internal/machine"
+	"repro/internal/server"
+	"repro/internal/traffic"
+)
+
+// Metric mirrors scripts/benchgate's schema.
+type Metric struct {
+	Value        float64 `json:"value"`
+	Unit         string  `json:"unit,omitempty"`
+	Gated        bool    `json:"gated"`
+	HigherBetter bool    `json:"higher_better"`
+}
+
+// Report mirrors scripts/benchgate's schema.
+type Report struct {
+	Schema  int               `json:"schema"`
+	Host    string            `json:"host,omitempty"`
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// timeSweeps returns the best-of-three median time per y += A·x sweep.
+func timeSweeps(op *spmv.Operator, x []float64, sweeps int) time.Duration {
+	rows, _ := op.Dims()
+	y := make([]float64, rows)
+	times := make([]time.Duration, 3)
+	for t := range times {
+		t0 := time.Now()
+		for s := 0; s < sweeps; s++ {
+			if err := op.MulAdd(y, x); err != nil {
+				log.Fatal(err)
+			}
+		}
+		times[t] = time.Since(t0) / time.Duration(sweeps)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[1]
+}
+
+// kernelMetrics benchmarks naive vs tuned operators (cmd/spmv-bench's
+// measured-kernel layer, reduced to a smoke check).
+func kernelMetrics(metrics map[string]Metric) {
+	m, err := spmv.GenerateSuite("FEM/Cantilever", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := spmv.Compile(m, spmv.NaiveOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := spmv.Compile(m, spmv.DefaultTuneOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, cols := m.Dims()
+	x := randVec(cols, 3)
+	flops := float64(2 * m.NNZ())
+	tn := timeSweeps(naive, x, 10)
+	tt := timeSweeps(tuned, x, 10)
+	metrics["kernel_naive_gflops"] = Metric{Value: flops / tn.Seconds() / 1e9, Unit: "GFlop/s"}
+	metrics["kernel_tuned_gflops"] = Metric{Value: flops / tt.Seconds() / 1e9, Unit: "GFlop/s"}
+	metrics["kernel_tuned_speedup"] = Metric{Value: tn.Seconds() / tt.Seconds(), Unit: "x", HigherBetter: true}
+	metrics["tuned_footprint_savings"] = Metric{
+		Value: tuned.Savings(), Unit: "frac", Gated: true, HigherBetter: true,
+	}
+}
+
+// serveThroughput drives the serving subsystem closed-loop and returns
+// wall req/s (examples/serve-loadgen in miniature).
+func serveThroughput(cfg server.Config, clients, requests int) float64 {
+	s := server.New(cfg)
+	defer s.Close()
+	info, err := s.RegisterSuite("m", "LP", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := randVec(info.Cols, int64(g))
+			for i := 0; i < requests; i++ {
+				if _, err := s.Mul("m", x); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return float64(clients*requests) / time.Since(t0).Seconds()
+}
+
+func servingMetrics(metrics map[string]Metric) {
+	unbatched := server.DefaultConfig()
+	unbatched.MaxBatch = 1
+	batched := server.DefaultConfig()
+	batched.Adaptive = false
+
+	u := serveThroughput(unbatched, 8, 50)
+	b := serveThroughput(batched, 8, 50)
+	metrics["serve_unbatched_req_s"] = Metric{Value: u, Unit: "req/s"}
+	metrics["serve_batched_req_s"] = Metric{Value: b, Unit: "req/s"}
+	// Emitted ungated: benchgate enforces only metrics the BASELINE gates,
+	// and bench_baseline.json gates this ratio against a hand-set
+	// conservative floor. Writing the measured value ungated here keeps a
+	// baseline refresh from replacing that floor with one noisy run.
+	metrics["serve_batched_speedup"] = Metric{Value: b / u, Unit: "x", HigherBetter: true}
+}
+
+// pinnedConfig is DefaultConfig with the parallel widths pinned to 1 so
+// the tuner's per-thread-block decisions — and with them the modeled
+// sweep bytes — do not vary with the runner's core count. The gated
+// deterministic metrics must compare equal across CI machines.
+func pinnedConfig() server.Config {
+	cfg := server.DefaultConfig()
+	cfg.Threads = 1
+	cfg.Workers = 1
+	cfg.Shards = 1
+	return cfg
+}
+
+// shardingMetrics registers an LP twin on a K=4 in-process cluster,
+// enforces bitwise parity with single-node serving, and reports the
+// deterministic bandwidth-bound aggregate speedup.
+func shardingMetrics(metrics map[string]Metric) {
+	const k = 4
+	m, err := spmv.GenerateSuite("LP", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := server.New(pinnedConfig())
+	defer single.Close()
+	info, err := single.Register("m", "LP", m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	transports := make([]server.Transport, k)
+	for i := range transports {
+		ms := server.New(pinnedConfig())
+		defer ms.Close()
+		transports[i] = server.NewLocalTransport(fmt.Sprintf("node%d", i), ms)
+	}
+	cluster, err := server.NewCluster(transports, server.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sinfo, err := cluster.RegisterSharded("m", "LP", m, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x := randVec(info.Cols, 11)
+	want, err := single.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := cluster.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("benchsmoke: K=%d sharded serving diverged from single-node at y[%d]", k, i)
+		}
+	}
+
+	amd := machine.AMDX2()
+	nodeBW := amd.MemCtrl.PerSocketGBs * amd.SustainedBWFracSocket
+	speedup := traffic.SustainedSweepRate(nodeBW, sinfo.MaxBandSweepBytes) /
+		traffic.SustainedSweepRate(nodeBW, info.SweepBytes)
+	metrics["shard_k4_model_speedup"] = Metric{Value: speedup, Unit: "x", Gated: true, HigherBetter: true}
+	metrics["shard_k4_max_band_sweep_bytes"] = Metric{
+		Value: float64(sinfo.MaxBandSweepBytes), Unit: "B", Gated: true, HigherBetter: false,
+	}
+	metrics["single_sweep_bytes"] = Metric{
+		Value: float64(info.SweepBytes), Unit: "B", Gated: true, HigherBetter: false,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ci.json", "report path")
+	flag.Parse()
+
+	metrics := make(map[string]Metric)
+	kernelMetrics(metrics)
+	servingMetrics(metrics)
+	shardingMetrics(metrics)
+
+	r := Report{
+		Schema:  1,
+		Host:    fmt.Sprintf("%s/%s gomaxprocs=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
+		Metrics: metrics,
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		mt := metrics[n]
+		gate := ""
+		if mt.Gated {
+			gate = " [gated]"
+		}
+		fmt.Printf("%-34s %12.4g %s%s\n", n, mt.Value, mt.Unit, gate)
+	}
+	fmt.Printf("benchsmoke: wrote %s\n", *out)
+}
