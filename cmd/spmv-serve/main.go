@@ -17,6 +17,7 @@
 //
 //	POST /v1/matrices          {"suite":"QCD","scale":0.05} | {"rows","cols","entries"} | {"matrix_market"}
 //	                           + optional {"shards":4} on a cluster front
+//	                           + optional {"symmetric":true|false} (omitted = auto-detect)
 //	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
 //	GET  /v1/stats             JSON counters (+ cluster rollup)
@@ -46,6 +47,8 @@ func main() {
 	window := flag.Duration("batch-window", 200*time.Microsecond, "batch linger window")
 	adaptive := flag.Bool("adaptive", true, "skip the linger for lone requests when traffic is sparse")
 	deterministic := flag.Bool("deterministic", true, "topology-invariant numerics: identical bits regardless of batch width or shard count")
+	autoSymmetric := flag.Bool("auto-symmetric", true, "serve numerically symmetric matrices from upper-triangle storage (half the matrix stream); per-request \"symmetric\" overrides")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap, 413 beyond it (0 = 256 MiB); raise on members sharding very large matrices")
 	maxSweeps := flag.Int("max-concurrent-sweeps", 0, "concurrent sweep limit (0 = workers)")
 	members := flag.Int("members", 0, "in-process shard member nodes (forms a cluster; for demos and smoke tests)")
 	peers := flag.String("peers", "", "comma-separated member base URLs (http://host:port) forming a cluster")
@@ -63,6 +66,8 @@ func main() {
 	cfg.BatchWindow = *window
 	cfg.Adaptive = *adaptive
 	cfg.Deterministic = *deterministic
+	cfg.AutoSymmetric = *autoSymmetric
+	cfg.MaxBodyBytes = *maxBodyBytes
 	cfg.MaxConcurrentSweeps = *maxSweeps
 	s := server.New(cfg)
 	defer s.Close()

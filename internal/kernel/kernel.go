@@ -146,6 +146,8 @@ func Compile(fm matrix.Format) (Kernel, error) {
 		return compileBCOO(m)
 	case *matrix.CacheBlocked:
 		return compileCacheBlocked(m)
+	case *matrix.SymCSR:
+		return NewSymSweep(m, 1)
 	default:
 		return nil, fmt.Errorf("kernel: no kernel for format %T", fm)
 	}

@@ -16,6 +16,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
 	f.Add("% not a banner\n1 1 1\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n")
+	f.Add("%%MatrixMarket matrix array real general\n-1 -1\n1\n")
+	f.Add("%%MatrixMarket matrix array real general\n-3 2\n")
+	f.Add("%%MatrixMarket matrix array real general\n3037000500 3037000500\n")
+	f.Add("%%MatrixMarket matrix array real general\n9223372036854775807 2\n1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, err := Read(strings.NewReader(in))
 		if err != nil {

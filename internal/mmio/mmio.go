@@ -21,6 +21,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -163,6 +164,12 @@ func readArray(sc *bufio.Scanner, sizeLine string) (*matrix.COO, error) {
 	var rows, cols int
 	if _, err := fmt.Sscan(sizeLine, &rows, &cols); err != nil {
 		return nil, fmt.Errorf("mmio: bad array size line %q: %w", sizeLine, err)
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("mmio: negative dimension in size line %q", sizeLine)
+	}
+	if rows > 0 && cols > math.MaxInt/rows {
+		return nil, fmt.Errorf("mmio: array dimensions %dx%d overflow", rows, cols)
 	}
 	m := matrix.NewCOO(rows, cols)
 	// Array format is dense column-major.

@@ -204,3 +204,19 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestArrayRejectsBadDimensions: the array reader applies the same
+// dimension validation as the coordinate reader (negative sizes are
+// malformed, and rows*cols must not overflow the entry counter).
+func TestArrayRejectsBadDimensions(t *testing.T) {
+	for _, in := range []string{
+		"%%MatrixMarket matrix array real general\n-1 -1\n1\n",
+		"%%MatrixMarket matrix array real general\n-3 2\n",
+		"%%MatrixMarket matrix array real general\n2 -3\n",
+		"%%MatrixMarket matrix array real general\n3037000500 3037000500\n",
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

@@ -154,3 +154,45 @@ func TestShardsWithoutCluster(t *testing.T) {
 		t.Errorf("shards on plain server: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestShardedSymmetricRejected: "symmetric": true cannot be honored on
+// the sharded path (bands are stored general), so the combination must be
+// a 400, not silently ignored.
+func TestShardedSymmetricRejected(t *testing.T) {
+	members := make([]Transport, 2)
+	for i := range members {
+		ms := New(DefaultConfig())
+		defer ms.Close()
+		members[i] = NewLocalTransport("m", ms)
+	}
+	cluster, err := NewCluster(members, ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := New(DefaultConfig())
+	defer front.Close()
+	front.AttachCluster(cluster)
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	symTrue := true
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		ID: "s", Rows: 4, Cols: 4, Shards: 2, Symmetric: &symTrue,
+		Entries: [][3]float64{{0, 0, 1}, {1, 1, 2}, {2, 2, 3}, {3, 3, 4}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("symmetric+shards status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// symmetric:false with shards is fine.
+	symFalse := false
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		ID: "s", Rows: 4, Cols: 4, Shards: 2, Symmetric: &symFalse,
+		Entries: [][3]float64{{0, 0, 1}, {1, 1, 2}, {2, 2, 3}, {3, 3, 4}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("general sharded register status %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

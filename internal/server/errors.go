@@ -1,0 +1,22 @@
+package server
+
+import "errors"
+
+// Sentinel errors classifying serving failures. The HTTP layer maps them
+// to status codes with errors.Is — not substring matching — so wrapped
+// causes keep their classification across layers, and HTTPTransport
+// restores them from member status codes so the classification survives
+// the wire too.
+var (
+	// ErrUnknownMatrix: the requested matrix id is not registered (404).
+	ErrUnknownMatrix = errors.New("server: unknown matrix")
+	// ErrAlreadyRegistered: the id is taken; entries are immutable (409).
+	ErrAlreadyRegistered = errors.New("server: already registered")
+	// ErrNotSymmetric: symmetric storage was required for a matrix that is
+	// not numerically symmetric (400).
+	ErrNotSymmetric = errors.New("server: matrix is not symmetric")
+	// ErrMemberFault: a shard member or its transport failed while serving
+	// an otherwise valid request — the fleet's fault, not the client's
+	// (502).
+	ErrMemberFault = errors.New("server: member fault")
+)

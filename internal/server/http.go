@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -10,14 +11,25 @@ import (
 )
 
 // registerRequest is the body of POST /v1/matrices. Exactly one matrix
-// source must be provided: a Table 3 suite twin, explicit COO entries, or
-// an inline MatrixMarket document. Shards >= 2 asks the attached shard
-// coordinator to split the matrix into that many nonzero-balanced row
-// bands across the cluster's member nodes.
+// source must be provided — a Table 3 suite twin, explicit COO entries, or
+// an inline MatrixMarket document; a request naming more than one is
+// rejected with 400. Shards >= 2 asks the attached shard coordinator to
+// split the matrix into that many nonzero-balanced row bands across the
+// cluster's member nodes.
 type registerRequest struct {
 	ID     string `json:"id,omitempty"`
 	Name   string `json:"name,omitempty"`
 	Shards int    `json:"shards,omitempty"`
+
+	// Symmetric selects the storage family: true requires upper-triangle
+	// (SymCSR) storage and fails with 400 when the matrix is not
+	// numerically symmetric; false pins general storage; omitted defers
+	// to the server's AutoSymmetric config. Sharded registrations cannot
+	// honor true — row bands are rectangular and always stored general
+	// (keeping sharded bits identical to general single-node serving) —
+	// so "symmetric": true with shards >= 2 is rejected with 400 rather
+	// than silently ignored.
+	Symmetric *bool `json:"symmetric,omitempty"`
 
 	// Suite twin generation.
 	Suite string  `json:"suite,omitempty"`
@@ -74,10 +86,27 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
+// decodeBody decodes a JSON request body under the server's size cap,
+// reporting whether decoding succeeded; on failure the 400/413 response
+// has already been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	m, name, err := matrixFromRequest(req)
@@ -88,9 +117,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	fail := func(err error) {
 		code := http.StatusBadRequest
 		switch {
-		case strings.Contains(err.Error(), "already registered"):
+		case errors.Is(err, ErrAlreadyRegistered):
 			code = http.StatusConflict
-		case strings.Contains(err.Error(), "on member"):
+		case errors.Is(err, ErrMemberFault):
 			// A member or transport fault during sharded registration is
 			// the fleet's failure, not the client's request.
 			code = http.StatusBadGateway
@@ -103,6 +132,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("shards=%d requested but this server fronts no cluster", req.Shards))
 			return
 		}
+		if req.Symmetric != nil && *req.Symmetric {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("symmetric storage cannot be combined with shards=%d: row bands are stored general; omit symmetric or set it false", req.Shards))
+			return
+		}
 		info, err := s.cluster.RegisterSharded(req.ID, name, m, req.Shards)
 		if err != nil {
 			fail(err)
@@ -111,7 +145,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, info)
 		return
 	}
-	info, err := s.Register(req.ID, name, m)
+	info, err := s.RegisterOpts(req.ID, name, m, RegisterOptions{Symmetric: req.Symmetric})
 	if err != nil {
 		fail(err)
 		return
@@ -119,8 +153,23 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
-// matrixFromRequest builds the matrix named by one register request.
+// matrixFromRequest builds the matrix named by one register request. A
+// request naming more than one source is ambiguous and rejected — the API
+// promises exactly one of suite, entries, matrix_market.
 func matrixFromRequest(req registerRequest) (*spmv.Matrix, string, error) {
+	sources := 0
+	if req.Suite != "" {
+		sources++
+	}
+	if len(req.Entries) > 0 {
+		sources++
+	}
+	if req.MatrixMarket != "" {
+		sources++
+	}
+	if sources > 1 {
+		return nil, "", fmt.Errorf("ambiguous request: provide exactly one of suite, entries, matrix_market")
+	}
 	var m *spmv.Matrix
 	var name string
 	var err error
@@ -181,8 +230,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req mulRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	var y []float64
@@ -195,10 +243,13 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
-		case strings.Contains(err.Error(), "unknown matrix"), strings.Contains(err.Error(), "unknown sharded matrix"):
-			code = http.StatusNotFound
-		case strings.Contains(err.Error(), "replicas ejected"), strings.Contains(err.Error(), "failed on all live replicas"):
+		case errors.Is(err, ErrMemberFault):
+			// Checked before ErrUnknownMatrix: a member that lost its band
+			// mid-request is a fleet fault even though the underlying
+			// member error is a 404.
 			code = http.StatusBadGateway
+		case errors.Is(err, ErrUnknownMatrix):
+			code = http.StatusNotFound
 		}
 		writeError(w, code, err)
 		return

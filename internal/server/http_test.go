@@ -166,3 +166,111 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	resp.Body.Close()
 }
+
+// TestHTTPAmbiguousSource: the API promises exactly one matrix source;
+// requests naming several must be rejected, not silently resolved.
+func TestHTTPAmbiguousSource(t *testing.T) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mm := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n"
+	for _, req := range []registerRequest{
+		{Suite: "QCD", Scale: 0.02, Rows: 1, Cols: 1, Entries: [][3]float64{{0, 0, 1}}},
+		{Suite: "QCD", Scale: 0.02, MatrixMarket: mm},
+		{Rows: 1, Cols: 1, Entries: [][3]float64{{0, 0, 1}}, MatrixMarket: mm},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/matrices", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("ambiguous register status %d, want 400", resp.StatusCode)
+		}
+		e := decode[errorResponse](t, resp)
+		if !strings.Contains(e.Error, "exactly one") {
+			t.Errorf("ambiguous register error %q", e.Error)
+		}
+	}
+}
+
+// TestHTTPBodyLimit: request bodies beyond Config.MaxBodyBytes are
+// rejected with 413, on both the register and mul endpoints.
+func TestHTTPBodyLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBodyBytes = 4 << 10
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A small matrix still registers under the cap.
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		ID: "ok", Rows: 2, Cols: 2, Entries: [][3]float64{{0, 0, 1}, {1, 1, 1}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small register status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An oversized registration is refused with 413.
+	big := make([][3]float64, 1024)
+	for i := range big {
+		big[i] = [3]float64{0, 0, 1}
+	}
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "big", Rows: 1, Cols: 1, Entries: big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized register status %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An oversized mul payload too.
+	resp = postJSON(t, ts.URL+"/v1/matrices/ok/mul", mulRequest{X: make([]float64, 8192)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized mul status %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPSymmetricField: the "symmetric" register field selects the
+// storage family over the wire and rejects impossible requests with 400.
+func TestHTTPSymmetricField(t *testing.T) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	symTrue, symFalse := true, false
+	// A symmetric MatrixMarket upload with "symmetric": true serves from
+	// upper-triangle storage.
+	mm := "%%MatrixMarket matrix coordinate real symmetric\n3 3 4\n1 1 2.0\n2 2 3.0\n3 3 4.0\n3 1 1.5\n"
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "sym", MatrixMarket: mm, Symmetric: &symTrue})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("symmetric register status %d", resp.StatusCode)
+	}
+	info := decode[MatrixInfo](t, resp)
+	if !info.Symmetric || !strings.HasPrefix(info.Kernel, "symcsr") {
+		t.Errorf("symmetric register info %+v", info)
+	}
+	resp = postJSON(t, ts.URL+"/v1/matrices/sym/mul", mulRequest{X: []float64{1, 1, 1}})
+	mr := decode[mulResponse](t, resp)
+	if len(mr.Y) != 3 || mr.Y[0] != 3.5 || mr.Y[1] != 3 || mr.Y[2] != 5.5 {
+		t.Errorf("symmetric mul y = %v, want [3.5 3 5.5]", mr.Y)
+	}
+
+	// The same upload pinned general serves from a general kernel.
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{ID: "gen", MatrixMarket: mm, Symmetric: &symFalse})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("general register status %d", resp.StatusCode)
+	}
+	if ginfo := decode[MatrixInfo](t, resp); ginfo.Symmetric {
+		t.Errorf("pinned-general register info %+v", ginfo)
+	}
+
+	// Requiring symmetry for an asymmetric matrix is a client error.
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{
+		ID: "bad", Rows: 2, Cols: 2, Entries: [][3]float64{{0, 1, 1}}, Symmetric: &symTrue,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("asymmetric symmetric=true status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

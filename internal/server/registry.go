@@ -35,8 +35,13 @@ type Entry struct {
 	mu  sync.Mutex
 	ops map[opKey]*spmv.Operator
 
+	// symOps caches compiled symmetric operators by thread count (they
+	// have no tune options), mirroring the ops cache.
+	symOps map[int]*spmv.Operator
+
 	// Serving-path state, built once when the default operator compiles.
 	def    *spmv.Operator  // default operator (registry's tune opts/threads)
+	sym    bool            // def is the parallel symmetric operator
 	shards []spmv.RowRange // nonzero-balanced row partition for fused sweeps
 	// Modeled single-RHS sweep traffic (internal/traffic), the basis for
 	// the server's bytes-moved counters.
@@ -105,6 +110,48 @@ func (e *Entry) Operator(opts spmv.TuneOptions, threads int, st *stats) (*spmv.O
 	return op, nil
 }
 
+// SymOperator returns the compiled parallel symmetric operator for the
+// given thread count, compiling on first use and caching like Operator.
+// It fails when the matrix is not numerically symmetric.
+func (e *Entry) SymOperator(threads int, st *stats) (*spmv.Operator, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if op, ok := e.symOps[threads]; ok {
+		if st != nil {
+			st.compileHits.Add(1)
+		}
+		return op, nil
+	}
+	op, err := spmv.CompileSymmetricParallel(e.m, threads)
+	if err != nil {
+		return nil, err
+	}
+	if e.symOps == nil {
+		e.symOps = make(map[int]*spmv.Operator)
+	}
+	e.symOps[threads] = op
+	if st != nil {
+		st.compiles.Add(1)
+	}
+	return op, nil
+}
+
+// dropOperator evicts a cached general operator, and dropSymOperator a
+// cached symmetric one. prepare uses them to release the loser of the
+// auto-symmetric footprint comparison — the encoding would otherwise sit
+// unreachable in the cache for the entry's lifetime.
+func (e *Entry) dropOperator(opts spmv.TuneOptions, threads int) {
+	e.mu.Lock()
+	delete(e.ops, opKey{opts: opts, threads: threads})
+	e.mu.Unlock()
+}
+
+func (e *Entry) dropSymOperator(threads int) {
+	e.mu.Lock()
+	delete(e.symOps, threads)
+	e.mu.Unlock()
+}
+
 // Registry holds the served matrices. All methods are safe for concurrent
 // use.
 type Registry struct {
@@ -138,7 +185,7 @@ func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
 		id = fmt.Sprintf("m%d", r.seq)
 	}
 	if _, ok := r.byID[id]; ok {
-		return nil, fmt.Errorf("server: matrix %q already registered", id)
+		return nil, fmt.Errorf("%w: matrix %q", ErrAlreadyRegistered, id)
 	}
 	e := &Entry{ID: id, Name: name, m: m, rows: rows, cols: cols, nnz: m.NNZ()}
 	r.byID[id] = e
@@ -148,13 +195,27 @@ func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
 	return e, nil
 }
 
+// remove deletes an entry that never finished preparing, freeing its id.
+// Serving entries are immutable and never removed; this only backs out a
+// failed registration so the id is not burned by a rejected request.
+func (r *Registry) remove(id string) {
+	r.mu.Lock()
+	if _, ok := r.byID[id]; ok {
+		delete(r.byID, id)
+		if r.st != nil {
+			r.st.registered.Add(^uint64(0))
+		}
+	}
+	r.mu.Unlock()
+}
+
 // Get returns the entry for id.
 func (r *Registry) Get(id string) (*Entry, error) {
 	r.mu.RLock()
 	e, ok := r.byID[id]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("server: unknown matrix %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownMatrix, id)
 	}
 	return e, nil
 }

@@ -45,12 +45,41 @@ type Config struct {
 	// path, at the cost of low-order bits that vary with the tuner's
 	// blocking decisions (tile-local partial sums reassociate the row
 	// reductions).
+	//
+	// Matrices served by the symmetric operator are deterministic under
+	// either setting: the symmetric kernel's canonical segmented
+	// reduction fixes every bit regardless of thread count or batch
+	// width (see kernel.SymSweep). Their bits do differ from the same
+	// matrix served general — symmetry changes the summation order once,
+	// at registration, never per request.
 	Deterministic bool
+
+	// AutoSymmetric tries upper-triangle (SymCSR) storage for every
+	// square registered matrix: when the symmetric compile succeeds
+	// (the matrix is numerically symmetric) and its footprint beats the
+	// tuned general plan, the matrix is served by the parallel symmetric
+	// operator — half the matrix stream per sweep. A per-request
+	// "symmetric" field overrides the auto-detection either way.
+	AutoSymmetric bool
+
+	// MaxBodyBytes caps HTTP request bodies (registrations and mul
+	// payloads); oversized requests get 413. <= 0 means the 256 MiB
+	// default. The cap also bounds coordinator-to-member shard band
+	// uploads (MatrixMarket costs ~75 bytes per nonzero on the wire), so
+	// members of a fleet sharding very large matrices need it raised in
+	// step with their band sizes.
+	MaxBodyBytes int64
 }
 
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is unset: 256 MiB, sized to admit any single-node
+// upload of the paper's full-scale suite twins (~3M nonzeros ≈ 225 MB as
+// MatrixMarket) while still bounding a hostile request's memory.
+const DefaultMaxBodyBytes = 256 << 20
+
 // DefaultConfig serves with the full §4.2 tuner, GOMAXPROCS workers, up to
-// 8-wide fusion, a 200µs linger with adaptive fallback, and deterministic
-// (topology-invariant) numerics.
+// 8-wide fusion, a 200µs linger with adaptive fallback, deterministic
+// (topology-invariant) numerics, and symmetric storage auto-detection.
 func DefaultConfig() Config {
 	return Config{
 		Tune:          spmv.DefaultTuneOptions(),
@@ -58,6 +87,7 @@ func DefaultConfig() Config {
 		BatchWindow:   200 * time.Microsecond,
 		Adaptive:      true,
 		Deterministic: true,
+		AutoSymmetric: true,
 	}
 }
 
@@ -91,6 +121,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 1
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps), batchers: make(map[string]*batcher)}
 	s.reg = NewRegistry(&s.st)
 	return s
@@ -116,19 +149,21 @@ func (s *Server) Stats() Stats { return s.st.snapshot() }
 
 // MatrixInfo describes one registered, tuned matrix.
 type MatrixInfo struct {
-	ID         string  `json:"id"`
-	Name       string  `json:"name,omitempty"`
-	Rows       int     `json:"rows"`
-	Cols       int     `json:"cols"`
-	NNZ        int64   `json:"nnz"`
-	Kernel     string  `json:"kernel"`
-	Footprint  int64   `json:"footprint_bytes"`
-	Baseline   int64   `json:"baseline_bytes"`
-	Savings    float64 `json:"savings"`
-	Threads    int     `json:"threads"`
-	Shards     int     `json:"shards"`
-	Replicas   int     `json:"replicas,omitempty"` // > 0 only for cluster-sharded matrices
-	SweepBytes int64   `json:"sweep_bytes"`        // modeled DRAM bytes per single-RHS sweep
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	NNZ         int64   `json:"nnz"`
+	Kernel      string  `json:"kernel"`
+	Symmetric   bool    `json:"symmetric,omitempty"` // served by the symmetric operator
+	Footprint   int64   `json:"footprint_bytes"`
+	Baseline    int64   `json:"baseline_bytes"`
+	Savings     float64 `json:"savings"`
+	Threads     int     `json:"threads"`
+	Shards      int     `json:"shards"`
+	Replicas    int     `json:"replicas,omitempty"` // > 0 only for cluster-sharded matrices
+	SweepBytes  int64   `json:"sweep_bytes"`        // modeled DRAM bytes per single-RHS sweep
+	MatrixBytes int64   `json:"matrix_bytes"`       // matrix-stream share of SweepBytes
 }
 
 func (s *Server) info(e *Entry) MatrixInfo {
@@ -139,22 +174,45 @@ func (s *Server) info(e *Entry) MatrixInfo {
 	}
 	return MatrixInfo{
 		ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
-		Kernel: e.def.KernelName(), Footprint: e.def.FootprintBytes(),
-		Baseline: e.def.BaselineBytes(), Savings: e.def.Savings(),
+		Kernel: e.def.KernelName(), Symmetric: e.sym,
+		Footprint: e.def.FootprintBytes(),
+		Baseline:  e.def.BaselineBytes(), Savings: e.def.Savings(),
 		Threads: e.def.Threads(), Shards: len(e.shards),
-		SweepBytes: e.matrixBytes + e.sourceBytes + e.destBytes,
+		SweepBytes:  e.matrixBytes + e.sourceBytes + e.destBytes,
+		MatrixBytes: e.matrixBytes,
 	}
+}
+
+// RegisterOptions modifies one registration.
+type RegisterOptions struct {
+	// Symmetric selects the matrix's storage family. nil defers to
+	// Config.AutoSymmetric (try symmetric, fall back to general when the
+	// matrix is not symmetric or the general plan is smaller); a true
+	// pointer requires symmetric storage and fails with ErrNotSymmetric
+	// when the matrix is not numerically symmetric; a false pointer pins
+	// general storage — the setting shard members use for row bands, so
+	// a fleet's bits stay invariant to topology.
+	Symmetric *bool
 }
 
 // Register ingests a matrix, runs the tuner once, compiles the default
 // serving operator, and precomputes the fused-sweep shard plan. The empty
 // id asks the registry to generate one.
 func (s *Server) Register(id, name string, m *spmv.Matrix) (MatrixInfo, error) {
+	return s.RegisterOpts(id, name, m, RegisterOptions{})
+}
+
+// RegisterOpts is Register with per-registration options.
+func (s *Server) RegisterOpts(id, name string, m *spmv.Matrix, opts RegisterOptions) (MatrixInfo, error) {
 	e, err := s.reg.Register(id, name, m)
 	if err != nil {
 		return MatrixInfo{}, err
 	}
-	if err := s.prepare(e); err != nil {
+	if err := s.prepare(e, opts); err != nil {
+		// Back the entry out: a rejected registration (e.g. symmetric
+		// required for an asymmetric matrix) must not burn the id or
+		// leave a half-initialized entry in listings.
+		s.reg.remove(e.ID)
 		return MatrixInfo{}, err
 	}
 	return s.info(e), nil
@@ -170,22 +228,76 @@ func (s *Server) RegisterSuite(id, suite string, scale float64, seed int64) (Mat
 	return s.Register(id, suite, m)
 }
 
-// prepare compiles the entry's default operator and shard plan.
-func (s *Server) prepare(e *Entry) error {
-	op, err := e.Operator(s.cfg.Tune, s.cfg.Threads, &s.st)
-	if err != nil {
-		return err
+// prepare compiles the entry's default operator and shard plan. The
+// storage family comes from opts.Symmetric (see RegisterOptions): when
+// symmetric storage is wanted, the parallel symmetric operator is
+// compiled and — in auto mode — kept only if its footprint beats the
+// tuned general plan, the same footprint-minimizing rule the §4.2
+// heuristic applies between formats.
+func (s *Server) prepare(e *Entry, opts RegisterOptions) error {
+	rows, cols := e.Dims()
+	wantSym := s.cfg.AutoSymmetric
+	required := false
+	if opts.Symmetric != nil {
+		wantSym, required = *opts.Symmetric, *opts.Symmetric
 	}
-	shards, err := op.RowPartition(s.cfg.Shards)
-	if err != nil {
-		return err
+	var symOp *spmv.Operator
+	if wantSym {
+		if rows != cols {
+			if required {
+				return fmt.Errorf("%w: matrix is %dx%d", ErrNotSymmetric, rows, cols)
+			}
+		} else {
+			op, err := e.SymOperator(s.cfg.Threads, &s.st)
+			if err != nil {
+				if required {
+					return fmt.Errorf("%w: %v", ErrNotSymmetric, err)
+				}
+			} else {
+				symOp = op
+			}
+		}
 	}
-	tr, err := op.Traffic(spmv.TrafficOptions{})
+
+	def := symOp
+	if symOp == nil || !required {
+		op, err := e.Operator(s.cfg.Tune, s.cfg.Threads, &s.st)
+		if err != nil {
+			return err
+		}
+		if symOp == nil || op.FootprintBytes() <= symOp.FootprintBytes() {
+			def = op
+		}
+		// Evict the comparison's loser: it is unreachable once def is
+		// chosen and would otherwise hold a matrix-sized encoding for
+		// the entry's lifetime.
+		if symOp != nil {
+			if def == symOp {
+				e.dropOperator(s.cfg.Tune, s.cfg.Threads)
+			} else {
+				e.dropSymOperator(s.cfg.Threads)
+			}
+		}
+	}
+
+	var shards []spmv.RowRange
+	if !def.Symmetric() {
+		// The symmetric sweep parallelizes internally (its scatter escapes
+		// any row range), so only general operators get an external
+		// fused-sweep shard plan.
+		var err error
+		shards, err = def.RowPartition(s.cfg.Shards)
+		if err != nil {
+			return err
+		}
+	}
+	tr, err := def.Traffic(spmv.TrafficOptions{})
 	if err != nil {
 		return err
 	}
 	e.mu.Lock()
-	e.def = op
+	e.def = def
+	e.sym = def.Symmetric()
 	e.shards = shards
 	e.matrixBytes, e.sourceBytes, e.destBytes = tr.MatrixBytes, tr.SourceBytes, tr.DestBytes
 	e.mu.Unlock()
@@ -237,7 +349,10 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 			p.ch <- mulResult{err: err}
 		}
 	}
-	if width == 1 && !s.cfg.Deterministic {
+	// Symmetric entries always take the multi-RHS path below: their
+	// operator IS the deterministic kernel, and the path lets its
+	// internal phases run under the pool's concurrency bounds.
+	if width == 1 && !s.cfg.Deterministic && !e.sym {
 		var y []float64
 		var err error
 		s.pool.RunSweep([]func(){func() { y, err = e.def.Mul(reqs[0].x) }})
@@ -274,18 +389,31 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 
 	var errMu sync.Mutex
 	var sweepErr error
-	shards := make([]func(), len(e.shards))
-	for i, rg := range e.shards {
-		lo, hi := rg.Lo, rg.Hi
-		shards[i] = func() {
-			if err := mo.MulAddRows(yBlock, xBlock, lo, hi); err != nil {
-				errMu.Lock()
-				sweepErr = err
-				errMu.Unlock()
+	if e.sym {
+		// The symmetric sweep cannot be row-sharded externally (its
+		// scatter writes outside any row range); instead its two internal
+		// phases hand their task sets to the pool, so symmetric kernel
+		// work respects the same worker and sweep-concurrency bounds as
+		// general row shards.
+		if err := mo.MulAddBlockExec(yBlock, xBlock, s.pool.RunSweep); err != nil {
+			errMu.Lock()
+			sweepErr = err
+			errMu.Unlock()
+		}
+	} else {
+		shards := make([]func(), len(e.shards))
+		for i, rg := range e.shards {
+			lo, hi := rg.Lo, rg.Hi
+			shards[i] = func() {
+				if err := mo.MulAddRows(yBlock, xBlock, lo, hi); err != nil {
+					errMu.Lock()
+					sweepErr = err
+					errMu.Unlock()
+				}
 			}
 		}
+		s.pool.RunSweep(shards)
 	}
-	s.pool.RunSweep(shards)
 	if sweepErr != nil {
 		fail(sweepErr)
 		return

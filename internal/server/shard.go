@@ -171,7 +171,7 @@ func (c *Cluster) Info(id string) (ShardedMatrixInfo, error) {
 	e, ok := c.byID[id]
 	c.mu.RUnlock()
 	if !ok {
-		return ShardedMatrixInfo{}, fmt.Errorf("server: unknown sharded matrix %q", id)
+		return ShardedMatrixInfo{}, fmt.Errorf("%w %q (sharded)", ErrUnknownMatrix, id)
 	}
 	return e.info(), nil
 }
@@ -240,7 +240,7 @@ func (c *Cluster) RegisterSharded(id, name string, m *spmv.Matrix, shards int) (
 	}
 	if _, ok := c.byID[id]; ok || c.pending[id] {
 		c.mu.Unlock()
-		return ShardedMatrixInfo{}, fmt.Errorf("server: matrix %q already registered", id)
+		return ShardedMatrixInfo{}, fmt.Errorf("%w: matrix %q", ErrAlreadyRegistered, id)
 	}
 	c.pending[id] = true
 	c.mu.Unlock()
@@ -301,7 +301,7 @@ func (c *Cluster) buildSharded(id, name string, m *spmv.Matrix, rows, cols, shar
 			mem := c.members[(k+rep)%len(c.members)]
 			info, err := mem.t.Register(b.subID, fmt.Sprintf("%s/shard%d", name, k), bandMs[k])
 			if err != nil {
-				return nil, fmt.Errorf("server: shard %d on member %s: %w", k, mem.name, err)
+				return nil, fmt.Errorf("%w: shard %d on member %s: %w", ErrMemberFault, k, mem.name, err)
 			}
 			if info.Rows != r.Rows() || info.Cols != cols {
 				return nil, fmt.Errorf("server: shard %d on member %s registered as %dx%d, want %dx%d",
@@ -326,7 +326,7 @@ func (c *Cluster) Mul(id string, x []float64) ([]float64, error) {
 	e, ok := c.byID[id]
 	c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("server: unknown sharded matrix %q", id)
+		return nil, fmt.Errorf("%w %q (sharded)", ErrUnknownMatrix, id)
 	}
 	if len(x) != e.cols {
 		return nil, fmt.Errorf("server: matrix %q is %dx%d, len(x)=%d", id, e.rows, e.cols, len(x))
@@ -393,9 +393,9 @@ func (c *Cluster) mulBand(b *band, x, y []float64) error {
 		}
 	}
 	if tried == 0 {
-		return fmt.Errorf("server: band [%d,%d) of %q: all %d replicas ejected", b.lo, b.hi, b.subID, n)
+		return fmt.Errorf("%w: band [%d,%d) of %q: all %d replicas ejected", ErrMemberFault, b.lo, b.hi, b.subID, n)
 	}
-	return fmt.Errorf("server: band [%d,%d) of %q failed on all live replicas: %w", b.lo, b.hi, b.subID, lastErr)
+	return fmt.Errorf("%w: band [%d,%d) of %q failed on all live replicas: %w", ErrMemberFault, b.lo, b.hi, b.subID, lastErr)
 }
 
 // MemberStats is one member's rollup entry in ClusterStats.

@@ -21,7 +21,11 @@ type Transport interface {
 	Name() string
 	// Register ingests a matrix band under the given id on the member and
 	// returns the member's view of it (dimensions are validated by the
-	// coordinator against the band it sent).
+	// coordinator against the band it sent). Bands are always registered
+	// with general storage — a band that happened to be symmetric would
+	// otherwise pick a different summation order than its twin rows in a
+	// single-node serve, breaking the fleet's bitwise topology
+	// invariance.
 	Register(id, name string, m *spmv.Matrix) (MatrixInfo, error)
 	// Mul computes y = A·x against a previously registered band.
 	Mul(id string, x []float64) ([]float64, error)
@@ -46,9 +50,11 @@ func NewLocalTransport(label string, s *Server) *LocalTransport {
 // Name returns the member label.
 func (t *LocalTransport) Name() string { return t.label }
 
-// Register ingests the band on the member server.
+// Register ingests the band on the member server, pinned to general
+// storage (see Transport.Register).
 func (t *LocalTransport) Register(id, name string, m *spmv.Matrix) (MatrixInfo, error) {
-	return t.s.Register(id, name, m)
+	general := false
+	return t.s.RegisterOpts(id, name, m, RegisterOptions{Symmetric: &general})
 }
 
 // Mul multiplies against the member's band.
@@ -95,23 +101,37 @@ func (t *HTTPTransport) post(path string, req, resp any) error {
 	}
 	defer r.Body.Close()
 	if r.StatusCode >= 300 {
+		detail := fmt.Sprintf("status %d", r.StatusCode)
 		var e errorResponse
 		if json.NewDecoder(r.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: member %s: %s", t.base, e.Error)
+			detail = e.Error
 		}
-		return fmt.Errorf("server: member %s: status %d", t.base, r.StatusCode)
+		// Restore the sentinel the member's HTTP layer encoded as a
+		// status code, so the coordinator's error classification does not
+		// depend on remote error strings.
+		switch r.StatusCode {
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: member %s: %s", ErrUnknownMatrix, t.base, detail)
+		case http.StatusConflict:
+			return fmt.Errorf("%w: member %s: %s", ErrAlreadyRegistered, t.base, detail)
+		}
+		return fmt.Errorf("server: member %s: %s", t.base, detail)
 	}
 	return json.NewDecoder(r.Body).Decode(resp)
 }
 
-// Register ships the band as MatrixMarket and registers it remotely.
+// Register ships the band as MatrixMarket and registers it remotely,
+// pinned to general storage (see Transport.Register).
 func (t *HTTPTransport) Register(id, name string, m *spmv.Matrix) (MatrixInfo, error) {
 	var doc strings.Builder
 	if err := m.WriteMatrixMarket(&doc); err != nil {
 		return MatrixInfo{}, err
 	}
+	general := false
 	var info MatrixInfo
-	err := t.post("/v1/matrices", registerRequest{ID: id, Name: name, MatrixMarket: doc.String()}, &info)
+	err := t.post("/v1/matrices", registerRequest{
+		ID: id, Name: name, MatrixMarket: doc.String(), Symmetric: &general,
+	}, &info)
 	return info, err
 }
 

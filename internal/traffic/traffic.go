@@ -151,6 +151,8 @@ func Analyze(enc matrix.Format, opt Options) (Summary, error) {
 		return analyzeBCOO(m, opt), nil
 	case *matrix.BCOO[uint32]:
 		return analyzeBCOO(m, opt), nil
+	case *matrix.SymCSR:
+		return analyzeSym(m, opt), nil
 	case *matrix.CacheBlocked:
 		return analyzeCacheBlocked(m, opt)
 	default:
@@ -261,6 +263,42 @@ func analyzeCSR[I matrix.Index](m *matrix.CSR[I], opt Options) Summary {
 		StoredFlops: 2 * m.Stored(),
 		Tiles:       m.NNZ(),
 		LoopRows:    int64(m.R),
+		Windows:     w.windows,
+	}
+}
+
+// analyzeSym models the symmetric kernel over upper-triangle storage:
+// the matrix stream is the halved footprint (the point of the format),
+// the source vector is touched at both the stored column and — for rows
+// with off-diagonal entries — the row's own x element (the scatter
+// multiplier), and the destination is charged twice the streaming cost,
+// since the scatter turns y from a write-once stream into a
+// read-modify-write target revisited by the reduction.
+func analyzeSym(m *matrix.SymCSR, opt Options) Summary {
+	w := newWindow(m.N, opt)
+	for i := 0; i < m.N; i++ {
+		offDiag := false
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			w.touch(int(m.Col[k]))
+			if int(m.Col[k]) != i {
+				offDiag = true
+			}
+		}
+		if offDiag {
+			w.touch(i)
+		}
+	}
+	return Summary{
+		MatrixBytes: m.FootprintBytes(),
+		SourceBytes: w.bytes,
+		DestBytes:   2 * destBytes(m.N, opt),
+		Flops:       2 * m.NNZ(),
+		// The symmetric kernel executes one MAC per stored entry for the
+		// row sum plus one per off-diagonal scatter — nnz total, so no
+		// flop is wasted on fill.
+		StoredFlops: 2 * m.NNZ(),
+		Tiles:       m.Stored(),
+		LoopRows:    int64(m.N),
 		Windows:     w.windows,
 	}
 }

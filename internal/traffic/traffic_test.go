@@ -330,3 +330,57 @@ func TestSustainedSweepRate(t *testing.T) {
 		t.Errorf("summary rate %g, want 10000", got)
 	}
 }
+
+// TestSymmetricHalvesMatrixStream: upper-triangle storage's modeled
+// matrix stream is about half of full CSR32 on the same matrix, and the
+// symmetric kernel wastes no flops (stored == useful work).
+func TestSymmetricHalvesMatrixStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 500
+	m := matrix.NewCOO(n, n)
+	type pos struct{ r, c int }
+	seen := map[pos]bool{}
+	for len(seen) < 3000 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i > j {
+			i, j = j, i
+		}
+		if seen[pos{i, j}] {
+			continue
+		}
+		seen[pos{i, j}] = true
+		v := rng.NormFloat64()
+		_ = m.Append(i, j, v)
+		if i != j {
+			_ = m.Append(j, i, v)
+		}
+	}
+	sym, err := matrix.NewSymCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := matrix.NewCSR[uint32](m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Analyze(sym, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := Analyze(full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MatrixBytes != sym.FootprintBytes() {
+		t.Errorf("matrix stream %d, want footprint %d", st.MatrixBytes, sym.FootprintBytes())
+	}
+	if float64(st.MatrixBytes) > 0.62*float64(ft.MatrixBytes) {
+		t.Errorf("symmetric stream %d B vs full %d B: not halved", st.MatrixBytes, ft.MatrixBytes)
+	}
+	if st.Flops != 2*sym.NNZ() || st.StoredFlops != st.Flops {
+		t.Errorf("flops %d stored %d, want both %d", st.Flops, st.StoredFlops, 2*sym.NNZ())
+	}
+	if st.DestBytes != 2*ft.DestBytes {
+		t.Errorf("dest bytes %d, want 2x CSR's %d (scatter read-modify-write)", st.DestBytes, ft.DestBytes)
+	}
+}

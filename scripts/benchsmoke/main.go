@@ -13,6 +13,10 @@
 //     members — modeled bandwidth-bound aggregate speedup (deterministic,
 //     gated) with bitwise parity against single-node serving enforced as a
 //     hard failure.
+//   - symmetry: a symmetrized Cantilever twin served from upper-triangle
+//     (SymCSR) storage vs its general-CSR twin — the modeled matrix-stream
+//     ratio (deterministic, gated at ≈0.5) with numerical agreement
+//     enforced as a hard failure.
 //
 // Refresh the baseline with:
 //
@@ -227,6 +231,60 @@ func shardingMetrics(metrics map[string]Metric) {
 	}
 }
 
+// symmetricMetrics registers a symmetrized Cantilever twin both general
+// (naive CSR32 tuner) and symmetric (upper-triangle storage), enforces
+// numerical agreement, and reports the deterministic matrix-stream ratio —
+// the acceptance signal that symmetry halves the streamed bytes.
+func symmetricMetrics(metrics map[string]Metric) {
+	m, err := spmv.GenerateSuite("FEM/Cantilever", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sym, err := spmv.Symmetrize(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	symTrue, symFalse := true, false
+
+	genCfg := pinnedConfig()
+	genCfg.Tune = spmv.NaiveOptions() // the general-CSR twin of the comparison
+	gen := server.New(genCfg)
+	defer gen.Close()
+	ginfo, err := gen.RegisterOpts("m", "cant-sym", sym, server.RegisterOptions{Symmetric: &symFalse})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ssrv := server.New(pinnedConfig())
+	defer ssrv.Close()
+	sinfo, err := ssrv.RegisterOpts("m", "cant-sym", sym, server.RegisterOptions{Symmetric: &symTrue})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sinfo.Symmetric {
+		log.Fatal("benchsmoke: symmetric registration did not select the symmetric operator")
+	}
+
+	x := randVec(sinfo.Cols, 13)
+	want, err := gen.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := ssrv.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range got {
+		if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			log.Fatalf("benchsmoke: symmetric serving diverged from general at y[%d] by %g", i, d)
+		}
+	}
+
+	ratio := float64(sinfo.MatrixBytes) / float64(ginfo.MatrixBytes)
+	metrics["sym_matrix_stream_bytes"] = Metric{Value: float64(sinfo.MatrixBytes), Unit: "B"}
+	metrics["sym_matrix_stream_ratio"] = Metric{Value: ratio, Unit: "frac", Gated: true, HigherBetter: false}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_ci.json", "report path")
 	flag.Parse()
@@ -235,6 +293,7 @@ func main() {
 	kernelMetrics(metrics)
 	servingMetrics(metrics)
 	shardingMetrics(metrics)
+	symmetricMetrics(metrics)
 
 	r := Report{
 		Schema:  1,

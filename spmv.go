@@ -182,6 +182,11 @@ type Operator struct {
 	// for operators without a coordinate source (CompileSymmetric).
 	src *matrix.COO
 
+	// sym is the symmetric sweep kernel when this operator is backed by
+	// upper-triangle storage (CompileSymmetric*); its multi-RHS hooks
+	// route through it instead of rebuilding CSR.
+	sym *kernel.SymSweep
+
 	multiMu sync.Mutex
 	lazyCSR *matrix.CSR32          // built on first hook use, then shared
 	multi   map[int]*MultiOperator // multi-RHS views, by width
@@ -308,29 +313,41 @@ func (o *Operator) Decisions() []Decision { return o.decisions }
 // multiple-vectors optimization). The backing CSR is built on first hook
 // use and views are cached per width, so a serving layer can request the
 // same width repeatedly at zero cost. Multi is safe for concurrent use,
-// as are the returned views. It fails for operators without a coordinate
-// source (CompileSymmetric).
+// as are the returned views. Symmetric operators return a view over the
+// parallel symmetric sweep, keeping the halved matrix stream.
 func (o *Operator) Multi(width int) (*MultiOperator, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("spmv: need at least 1 vector, got %d", width)
+	}
 	o.multiMu.Lock()
 	defer o.multiMu.Unlock()
 	if mo, ok := o.multi[width]; ok {
 		return mo, nil
 	}
-	csr, err := o.csrLocked()
-	if err != nil {
-		return nil, err
+	var mo *MultiOperator
+	if o.sym != nil {
+		mo = &MultiOperator{sym: o.sym, nv: width, rows: o.rows, cols: o.cols}
+	} else {
+		csr, err := o.csrLocked()
+		if err != nil {
+			return nil, err
+		}
+		mv, err := kernel.NewMultiVec(csr, width)
+		if err != nil {
+			return nil, err
+		}
+		mo = &MultiOperator{mv: mv, nv: width, rows: o.rows, cols: o.cols}
 	}
-	mv, err := kernel.NewMultiVec(csr, width)
-	if err != nil {
-		return nil, err
-	}
-	mo := &MultiOperator{mv: mv, rows: o.rows, cols: o.cols}
 	if o.multi == nil {
 		o.multi = make(map[int]*MultiOperator)
 	}
 	o.multi[width] = mo
 	return mo, nil
 }
+
+// Symmetric reports whether the operator is backed by upper-triangle
+// (SymCSR) storage.
+func (o *Operator) Symmetric() bool { return o.sym != nil }
 
 // RowRange is a half-open row interval [Lo, Hi) with its nonzero count,
 // produced by RowPartition for shard planning.
@@ -386,12 +403,28 @@ func (o *Operator) Traffic(opt TrafficOptions) (TrafficSummary, error) {
 	return s, err
 }
 
-// CompileSymmetric compiles a numerically symmetric matrix into an
+// CompileSymmetric compiles a numerically symmetric matrix into a serial
 // operator backed by upper-triangle (SymCSR) storage, halving the matrix
 // stream — the symmetry optimization the paper's conclusions recommend for
 // bandwidth reduction (§7) and that OSKI implements. Returns an error if
-// the matrix is not exactly symmetric.
+// the matrix is not exactly symmetric. Equivalent to
+// CompileSymmetricParallel(m, 1), and bitwise identical to it at every
+// thread count: the kernel's reduction order is canonical (see
+// kernel.SymSweep), so threads change wall-clock, never bits.
 func CompileSymmetric(m *Matrix) (*Operator, error) {
+	return CompileSymmetricParallel(m, 1)
+}
+
+// CompileSymmetricParallel compiles a numerically symmetric matrix into a
+// parallel operator over upper-triangle storage. The symmetric scatter
+// y[j] += a_ij·x[i] races under plain row partitioning, so the kernel runs
+// the pOSKI-style two-phase scheme: per-segment scan with private spill
+// buffers, then a deterministic ordered reduction. Results are bitwise
+// identical across thread counts and multi-RHS widths.
+func CompileSymmetricParallel(m *Matrix, threads int) (*Operator, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("spmv: threads must be >= 1, got %d", threads)
+	}
 	sym, err := matrix.NewSymCSR(m.coo)
 	if err != nil {
 		return nil, err
@@ -400,33 +433,68 @@ func CompileSymmetric(m *Matrix) (*Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	sw, err := kernel.NewSymSweep(sym, threads)
+	if err != nil {
+		return nil, err
+	}
 	return &Operator{
-		k:    symKernel{sym},
+		k:    sw,
+		sym:  sw,
 		rows: sym.N, cols: sym.N,
 		nnz:       sym.NNZ(),
 		footprint: sym.FootprintBytes(),
 		baseline:  csrBaseline.FootprintBytes(),
-		threads:   1,
+		threads:   threads,
 		decisions: []Decision{{
 			Rows: sym.N, Cols: sym.N, NNZ: sym.NNZ(),
 			Format: "SymCSR", IndexBits: 32,
-			Footprint: sym.FootprintBytes(), Fill: 1,
+			Footprint: sym.FootprintBytes(),
+			Fill:      float64(sym.Stored()) / float64(max(sym.NNZ(), 1)),
 		}},
 	}, nil
 }
 
-// symKernel adapts SymCSR's multiply to the kernel interface.
-type symKernel struct{ m *matrix.SymCSR }
-
-func (s symKernel) MulAdd(y, x []float64) error { return s.m.MulAdd(y, x) }
-func (s symKernel) Format() matrix.Format       { return s.m }
-func (s symKernel) Name() string                { return "symcsr" }
+// Symmetrize returns the symmetric part (A + Aᵀ)/2 of a square matrix —
+// the standard preconditioner-style symmetrization, useful for feeding
+// CompileSymmetric with matrices whose structure is symmetric but whose
+// values drifted (or were never symmetric to begin with). Duplicate
+// entries are summed before halving, so the result is exactly symmetric:
+// NewSymCSR always accepts it.
+func Symmetrize(m *Matrix) (*Matrix, error) {
+	rows, cols := m.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("spmv: Symmetrize needs a square matrix, got %dx%d", rows, cols)
+	}
+	csr, err := matrix.NewCSR[uint32](m.coo) // canonical: sorted, duplicates summed
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(rows, rows)
+	for i := 0; i < csr.R; i++ {
+		for k := csr.RowPtr[i]; k < csr.RowPtr[i+1]; k++ {
+			j := int(csr.Col[k])
+			v := csr.Val[k]
+			if i == j {
+				_ = out.Set(i, i, v)
+			} else {
+				_ = out.Set(i, j, v/2)
+				_ = out.Set(j, i, v/2)
+			}
+		}
+	}
+	return out, nil
+}
 
 // MultiOperator multiplies a block of k vectors in one matrix sweep — the
 // multiple-vectors optimization (OSKI, §2.1), which raises the effective
-// flop:byte ratio by nearly k for bandwidth-bound SpMV.
+// flop:byte ratio by nearly k for bandwidth-bound SpMV. It is backed by
+// either the CSR block kernel or, for symmetric operators, the parallel
+// symmetric sweep (which streams the halved upper-triangle store once for
+// all k vectors).
 type MultiOperator struct {
-	mv         *kernel.MultiVec
+	mv         *kernel.MultiVec // CSR-backed views
+	sym        *kernel.SymSweep // symmetric-operator views
+	nv         int
 	rows, cols int
 }
 
@@ -440,26 +508,26 @@ func CompileMulti(m *Matrix, vectors int) (*MultiOperator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MultiOperator{mv: mv, rows: csr.R, cols: csr.C}, nil
+	return &MultiOperator{mv: mv, nv: vectors, rows: csr.R, cols: csr.C}, nil
 }
 
 // Vectors returns the block width k.
-func (o *MultiOperator) Vectors() int { return o.mv.Vectors() }
+func (o *MultiOperator) Vectors() int { return o.nv }
 
 // MulAll computes Y_v = A·X_v for all k vectors in one sweep.
 func (o *MultiOperator) MulAll(xs [][]float64) ([][]float64, error) {
+	if len(xs) != o.nv {
+		return nil, fmt.Errorf("spmv: %d vectors, operator compiled for %d", len(xs), o.nv)
+	}
 	xBlock, err := kernel.Interleave(xs)
 	if err != nil {
 		return nil, err
 	}
-	if len(xs) != o.mv.Vectors() {
-		return nil, fmt.Errorf("spmv: %d vectors, operator compiled for %d", len(xs), o.mv.Vectors())
-	}
-	yBlock := make([]float64, o.rows*o.mv.Vectors())
-	if err := o.mv.MulAdd(yBlock, xBlock); err != nil {
+	yBlock := make([]float64, o.rows*o.nv)
+	if err := o.MulAddBlock(yBlock, xBlock); err != nil {
 		return nil, err
 	}
-	return kernel.Deinterleave(yBlock, o.mv.Vectors())
+	return kernel.Deinterleave(yBlock, o.nv)
 }
 
 // Dims returns (rows, cols).
@@ -469,14 +537,35 @@ func (o *MultiOperator) Dims() (rows, cols int) { return o.rows, o.cols }
 // element j of vector v; see Interleave). Callers that keep vectors in
 // block layout avoid the pack/unpack of MulAll.
 func (o *MultiOperator) MulAddBlock(yBlock, xBlock []float64) error {
+	if o.sym != nil {
+		return o.sym.MulAddWidth(yBlock, xBlock, o.nv)
+	}
+	return o.mv.MulAdd(yBlock, xBlock)
+}
+
+// MulAddBlockExec is MulAddBlock with the view's internal parallel task
+// sets scheduled through run (which must execute every task and return
+// once all complete — e.g. a serving worker pool). Scheduling never
+// changes result bits. Only symmetric views parallelize internally;
+// CSR-backed views have no internal tasks and run the plain sweep.
+func (o *MultiOperator) MulAddBlockExec(yBlock, xBlock []float64, run func(tasks []func())) error {
+	if o.sym != nil {
+		return o.sym.MulAddWidthExec(yBlock, xBlock, o.nv, kernel.Exec(run))
+	}
 	return o.mv.MulAdd(yBlock, xBlock)
 }
 
 // MulAddRows computes rows [lo, hi) of Y ← Y + A·X over interleaved
 // blocks. Disjoint row ranges write disjoint regions of yBlock, so the
 // shards of one fused sweep (see Operator.RowPartition) run concurrently
-// without synchronization.
+// without synchronization. Symmetric views reject it: the symmetric
+// scatter writes outside [lo, hi), so a symmetric sweep cannot be
+// row-sharded externally — use MulAddBlock, which parallelizes
+// internally with a deterministic reduction.
 func (o *MultiOperator) MulAddRows(yBlock, xBlock []float64, lo, hi int) error {
+	if o.sym != nil {
+		return fmt.Errorf("spmv: symmetric multi-RHS sweeps cannot be row-sharded externally; use MulAddBlock")
+	}
 	return o.mv.MulAddRows(yBlock, xBlock, lo, hi)
 }
 

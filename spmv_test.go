@@ -523,10 +523,12 @@ func TestOperatorMultiRHSHooks(t *testing.T) {
 		t.Errorf("MultiRHS scaling wrong: %+v vs %+v", fused, tr)
 	}
 
-	// Symmetric operators have no CSR backing for these hooks.
+	// Symmetric operators route Multi through the symmetric sweep; only
+	// external row sharding (RowPartition / MulAddRows) is refused, since
+	// the symmetric scatter escapes any row range.
 	sym := spmv.NewMatrix(3, 3)
 	for i := 0; i < 3; i++ {
-		if err := sym.Set(i, i, 1); err != nil {
+		if err := sym.Set(i, i, float64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -534,10 +536,142 @@ func TestOperatorMultiRHSHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sop.Multi(2); err == nil {
-		t.Error("Multi on symmetric operator accepted")
+	smo, err := sop.Multi(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := smo.MulAll([][]float64{{1, 1, 1}, {2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys[0][0] != 1 || sys[0][1] != 2 || sys[0][2] != 3 || sys[1][2] != 6 {
+		t.Errorf("symmetric MulAll = %v", sys)
+	}
+	if err := smo.MulAddRows(make([]float64, 6), make([]float64, 6), 0, 2); err == nil {
+		t.Error("MulAddRows on symmetric view accepted")
 	}
 	if _, err := sop.RowPartition(2); err == nil {
 		t.Error("RowPartition on symmetric operator accepted")
+	}
+}
+
+// TestSymmetrizeAndCompileSymmetricParallel covers the public symmetric
+// pipeline: Symmetrize makes any square matrix exactly symmetric, the
+// parallel operator matches the serial one bit for bit at every thread
+// count, and its multi-RHS views reproduce the single-vector bits per
+// lane while keeping the halved matrix stream.
+func TestSymmetrizeAndCompileSymmetricParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := buildRandom(t, rng, 400, 400, 5000)
+	if _, err := spmv.CompileSymmetric(m); err == nil {
+		t.Fatal("random matrix unexpectedly symmetric")
+	}
+	sym, err := spmv.Symmetrize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := spmv.CompileSymmetric(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Symmetric() || serial.KernelName() != "symcsr" {
+		t.Errorf("serial operator: symmetric=%v kernel=%q", serial.Symmetric(), serial.KernelName())
+	}
+	if serial.FootprintBytes() >= serial.BaselineBytes() {
+		t.Errorf("symmetric footprint %d not below CSR32 baseline %d",
+			serial.FootprintBytes(), serial.BaselineBytes())
+	}
+	d := serial.Decisions()
+	if len(d) != 1 || d[0].Format != "SymCSR" {
+		t.Errorf("decisions = %+v", d)
+	}
+
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := serial.Mul(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy against the assembled entries.
+	ref := naiveMul(sym, x)
+	for i := range want {
+		if math.Abs(want[i]-ref[i]) > 1e-9 {
+			t.Fatalf("row %d: %g vs %g", i, want[i], ref[i])
+		}
+	}
+	// Bit-parity across thread counts.
+	for _, threads := range []int{2, 4} {
+		par, err := spmv.CompileSymmetricParallel(sym, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Mul(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d row %d: %x vs %x", threads, i, got[i], want[i])
+			}
+		}
+		// Multi-RHS lanes reproduce the width-1 bits.
+		mo, err := par.Multi(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys, err := mo.MulAll([][]float64{x, x, x, x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ys {
+			for i := range ys[v] {
+				if ys[v][i] != want[i] {
+					t.Fatalf("threads=%d lane %d row %d: %x vs %x", threads, v, i, ys[v][i], want[i])
+				}
+			}
+		}
+	}
+
+	if _, err := spmv.CompileSymmetricParallel(sym, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+	rect := spmv.NewMatrix(2, 3)
+	if _, err := spmv.Symmetrize(rect); err == nil {
+		t.Error("rectangular Symmetrize accepted")
+	}
+}
+
+// TestSymmetricTrafficHalvesMatrixStream checks the traffic model: the
+// symmetric operator's modeled matrix stream is roughly half the plain
+// CSR32 operator's on the same matrix.
+func TestSymmetricTrafficHalvesMatrixStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sym, err := spmv.Symmetrize(buildRandom(t, rng, 300, 300, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sop, err := spmv.CompileSymmetricParallel(sym, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gop, err := spmv.Compile(sym, spmv.NaiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sop.Traffic(spmv.TrafficOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := gop.Traffic(spmv.TrafficOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MatrixBytes <= 0 || float64(st.MatrixBytes) > 0.62*float64(gt.MatrixBytes) {
+		t.Errorf("symmetric matrix stream %d B vs general %d B: not halved", st.MatrixBytes, gt.MatrixBytes)
+	}
+	if st.Flops != 2*sop.NNZ() {
+		t.Errorf("flops %d, want %d", st.Flops, 2*sop.NNZ())
 	}
 }
