@@ -46,6 +46,9 @@ func reportMedian(b *testing.B, t *bench.Table, col, metric string) {
 }
 
 func BenchmarkTable1_MachineModel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	for i := 0; i < b.N; i++ {
 		t := bench.Table1()
 		if len(t.Rows) != 5 {
@@ -55,6 +58,9 @@ func BenchmarkTable1_MachineModel(b *testing.B) {
 }
 
 func BenchmarkTable3_Suite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	for i := 0; i < b.N; i++ {
 		r := runner()
 		if _, err := r.Table3(); err != nil {
@@ -64,6 +70,9 @@ func BenchmarkTable3_Suite(b *testing.B) {
 }
 
 func BenchmarkTable4_DenseSustained(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	r := runner()
 	var t *bench.Table
 	var err error
@@ -81,6 +90,9 @@ func BenchmarkTable4_DenseSustained(b *testing.B) {
 
 func benchFigure1(b *testing.B, m *machine.Machine, col string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	r := runner()
 	var t *bench.Table
 	var err error
@@ -113,6 +125,9 @@ func BenchmarkFigure1_CellBlade(b *testing.B) {
 }
 
 func BenchmarkFigure2a_MedianComparison(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	r := runner()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Figure2a(); err != nil {
@@ -122,6 +137,9 @@ func BenchmarkFigure2a_MedianComparison(b *testing.B) {
 }
 
 func BenchmarkFigure2b_PowerEfficiency(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	r := runner()
 	var t *bench.Table
 	var err error
@@ -138,6 +156,9 @@ func BenchmarkFigure2b_PowerEfficiency(b *testing.B) {
 }
 
 func BenchmarkSpeedupClaims(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-table harness benchmarks are skipped in -short mode (like internal/bench)")
+	}
 	r := runner()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Speedups(); err != nil {

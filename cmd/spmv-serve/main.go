@@ -20,6 +20,7 @@
 //	                           + optional {"symmetric":true|false} (omitted = auto-detect)
 //	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
+//	GET  /v1/matrices/{id}/tuning online re-tuner state (generation, drift, decisions)
 //	GET  /v1/stats             JSON counters (+ cluster rollup)
 //	GET  /v1/cluster           shard topology
 //	GET  /metrics              Prometheus-style counters
@@ -50,6 +51,8 @@ func main() {
 	autoSymmetric := flag.Bool("auto-symmetric", true, "serve numerically symmetric matrices from upper-triangle storage (half the matrix stream); per-request \"symmetric\" overrides")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap, 413 beyond it (0 = 256 MiB); raise on members sharding very large matrices")
 	maxSweeps := flag.Int("max-concurrent-sweeps", 0, "concurrent sweep limit (0 = workers)")
+	retuneInterval := flag.Duration("retune-interval", 30*time.Second, "online re-tune scan interval; 0 disables workload-aware re-tuning")
+	retuneDrift := flag.Float64("retune-drift", server.DefaultRetuneDrift, "fused-width drift (1 - min/max) that triggers a re-tune evaluation")
 	members := flag.Int("members", 0, "in-process shard member nodes (forms a cluster; for demos and smoke tests)")
 	peers := flag.String("peers", "", "comma-separated member base URLs (http://host:port) forming a cluster")
 	replicas := flag.Int("replicas", 1, "member replicas per shard band")
@@ -69,6 +72,8 @@ func main() {
 	cfg.AutoSymmetric = *autoSymmetric
 	cfg.MaxBodyBytes = *maxBodyBytes
 	cfg.MaxConcurrentSweeps = *maxSweeps
+	cfg.RetuneInterval = *retuneInterval
+	cfg.RetuneDrift = *retuneDrift
 	s := server.New(cfg)
 	defer s.Close()
 
@@ -128,8 +133,8 @@ func main() {
 		}
 	}
 
-	log.Printf("spmv-serve listening on %s (max-batch %d, window %v, adaptive %v, deterministic %v)",
-		*addr, cfg.MaxBatch, cfg.BatchWindow, cfg.Adaptive, cfg.Deterministic)
+	log.Printf("spmv-serve listening on %s (max-batch %d, window %v, adaptive %v, deterministic %v, retune %v)",
+		*addr, cfg.MaxBatch, cfg.BatchWindow, cfg.Adaptive, cfg.Deterministic, cfg.RetuneInterval)
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(fmt.Errorf("spmv-serve: %w", err))

@@ -1,0 +1,517 @@
+// Cross-format differential property test: every compile path — CSR (both
+// index widths), register-blocked BCSR, block-coordinate BCOO, symmetric
+// SymCSR, cache-blocked composites, and row-parallel compositions of all
+// of them — must agree with an independent naive triplet reference, at
+// every multi-RHS width and thread count the serving layer exercises.
+//
+// Agreement comes in two strengths:
+//
+//   - bitwise for the deterministic CSR family (serial/parallel CSR at
+//     either index width, MultiVec, and the wide kernels over CSR): these
+//     all accumulate each row strictly in column order, so their bits are
+//     the reference's bits — the property the serving layer's
+//     Deterministic mode and the re-tuner's bit-preserving promotions
+//     stand on;
+//   - ULP-bounded for reassociating paths (register/cache blocking,
+//     symmetry): |y - ref| <= ~nnz_row * eps * sum|a_ij x_j| per row.
+//
+// Additionally every wide kernel must be width-invariant: lane v of a
+// width-k sweep reproduces the width-1 sweep bit for bit.
+package spmv_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	spmv "repro"
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+)
+
+// diffWidths are the fused multi-RHS widths the harness checks.
+var diffWidths = []int{1, 4, 8}
+
+// diffThreads are the parallel widths the harness checks.
+var diffThreads = []int{1, 2, 4}
+
+// diffCase is one generated matrix with its per-lane inputs and
+// references.
+type diffCase struct {
+	name string
+	m    *spmv.Matrix
+	coo  *matrix.COO
+	sym  bool // numerically symmetric (safe for CompileSymmetric)
+}
+
+// diffCases builds the structural zoo: varied density, banded, symmetric,
+// empty rows and columns, and a near-empty matrix.
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	n := 240
+	nnz := 3200
+	if testing.Short() {
+		n, nnz = 120, 1200
+	}
+	cases := []diffCase{
+		{name: "random-sparse", coo: randomCOO(t, n, n-17, nnz/4, 1, false)},
+		{name: "random-dense", coo: randomCOO(t, n/2, n/2, nnz, 2, false)},
+		{name: "banded", coo: bandedCOO(t, n, 6, 3)},
+		{name: "empty-rows-cols", coo: stripedCOO(t, n, n, nnz/4, 4)},
+		{name: "duplicates", coo: duplicateCOO(t, n/2, 5)},
+		{name: "near-empty", coo: sparseDiagCOO(t, n)},
+	}
+	for i := range cases {
+		cases[i].m = cooToMatrix(t, cases[i].coo)
+	}
+	// Symmetric twin of the banded case: exactly symmetric by
+	// construction, so SymCSR compiles.
+	symM, err := spmv.Symmetrize(cooToMatrix(t, bandedCOO(t, n, 5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	symCOO := matrix.NewCOO(n, n)
+	symM.Entries(func(i, j int, v float64) { _ = symCOO.Append(i, j, v) })
+	cases = append(cases, diffCase{name: "symmetric", m: symM, coo: symCOO, sym: true})
+	return cases
+}
+
+func randomCOO(t *testing.T, rows, cols, nnz int, seed int64, posOnly bool) *matrix.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		v := rng.NormFloat64()
+		if posOnly {
+			v = math.Abs(v) + 0.1
+		}
+		if err := coo.Append(rng.Intn(rows), rng.Intn(cols), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coo
+}
+
+func bandedCOO(t *testing.T, n, halfBW int, seed int64) *matrix.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := i - halfBW; j <= i+halfBW; j++ {
+			if j >= 0 && j < n {
+				if err := coo.Append(i, j, rng.NormFloat64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return coo
+}
+
+// stripedCOO populates only every strideth row and column, leaving the
+// rest empty — the empty-row/empty-column stress BCOO exists for.
+func stripedCOO(t *testing.T, rows, cols, nnz int, stride int) *matrix.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	coo := matrix.NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		i := (rng.Intn(rows / stride)) * stride
+		j := (rng.Intn(cols / stride)) * stride
+		if err := coo.Append(i, j, rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coo
+}
+
+// duplicateCOO repeats every coordinate several times; compile-time
+// canonicalization must sum them in insertion order on every path.
+func duplicateCOO(t *testing.T, n int, seed int64) *matrix.COO {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO(n, n)
+	for k := 0; k < 4*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		for d := 0; d < 3; d++ {
+			if err := coo.Append(i, j, rng.NormFloat64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return coo
+}
+
+func sparseDiagCOO(t *testing.T, n int) *matrix.COO {
+	t.Helper()
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i += 37 {
+		if err := coo.Append(i, i, float64(i+1)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coo
+}
+
+func cooToMatrix(t *testing.T, coo *matrix.COO) *spmv.Matrix {
+	t.Helper()
+	m := spmv.NewMatrix(coo.R, coo.C)
+	for k := range coo.Val {
+		if err := m.Set(int(coo.RowIdx[k]), int(coo.ColIdx[k]), coo.Val[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// refMul is the independent naive triplet reference: canonicalize the
+// triplets exactly as compile time does (stable row-major/column sort,
+// duplicates summed in insertion order), then accumulate each row's sum
+// strictly in column order. It returns y plus a per-row error tolerance
+// ~4*(nnz_row+4)*eps*sum|a_ij x_j| for the reassociating paths.
+func refMul(coo *matrix.COO, x []float64) (y, tol []float64) {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	ents := make([]ent, len(coo.Val))
+	for k := range coo.Val {
+		ents[k] = ent{int(coo.RowIdx[k]), int(coo.ColIdx[k]), coo.Val[k]}
+	}
+	sort.SliceStable(ents, func(a, b int) bool {
+		if ents[a].i != ents[b].i {
+			return ents[a].i < ents[b].i
+		}
+		return ents[a].j < ents[b].j
+	})
+	// Sum duplicates in their (preserved) insertion order.
+	canon := ents[:0]
+	for _, e := range ents {
+		if n := len(canon); n > 0 && canon[n-1].i == e.i && canon[n-1].j == e.j {
+			canon[n-1].v += e.v
+			continue
+		}
+		canon = append(canon, e)
+	}
+	y = make([]float64, coo.R)
+	tol = make([]float64, coo.R)
+	abs := make([]float64, coo.R)
+	rowNNZ := make([]int, coo.R)
+	for _, e := range canon {
+		t := e.v * x[e.j]
+		y[e.i] += t
+		abs[e.i] += math.Abs(t)
+		rowNNZ[e.i]++
+	}
+	const eps = 2.220446049250313e-16
+	for i := range tol {
+		tol[i] = 4 * float64(rowNNZ[i]+4) * eps * abs[i]
+	}
+	return y, tol
+}
+
+func laneVectors(cols, width int, seed int64) [][]float64 {
+	xs := make([][]float64, width)
+	for v := range xs {
+		rng := rand.New(rand.NewSource(seed + int64(v)))
+		xs[v] = make([]float64, cols)
+		for i := range xs[v] {
+			xs[v][i] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+// checkBitwise asserts got matches want bit for bit.
+func checkBitwise(t *testing.T, path string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", path, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: y[%d] = %x, want %x (not bitwise identical)",
+				path, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// checkBounded asserts got matches want within the per-row reassociation
+// tolerance.
+func checkBounded(t *testing.T, path string, got, want, tol []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", path, len(got), len(want))
+	}
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > tol[i] {
+			t.Fatalf("%s: y[%d] off by %g (tolerance %g)", path, i, d, tol[i])
+		}
+	}
+}
+
+// wideLanes runs a wide kernel over interleaved lane vectors and returns
+// the de-interleaved per-lane results.
+func wideLanes(t *testing.T, w kernel.Wide, rows int, xs [][]float64) [][]float64 {
+	t.Helper()
+	xBlock, err := kernel.Interleave(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yBlock := make([]float64, rows*len(xs))
+	if err := w.MulAddBlock(yBlock, xBlock); err != nil {
+		t.Fatal(err)
+	}
+	ys, err := kernel.Deinterleave(yBlock, len(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ys
+}
+
+// TestDifferentialCSRFamily checks the deterministic family bitwise:
+// serial and parallel CSR at both index widths, the CSR multi-RHS views,
+// and the wide kernels over CSR — across widths 1/4/8 and threads 1/2/4.
+func TestDifferentialCSRFamily(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			_, cols := tc.m.Dims()
+			rows, _ := tc.m.Dims()
+			xs := laneVectors(cols, 8, 77)
+			refs := make([][]float64, len(xs))
+			for v := range xs {
+				refs[v], _ = refMul(tc.coo, xs[v])
+			}
+
+			opts16 := spmv.NaiveOptions()
+			opts16.ReduceIndices = true
+			for _, threads := range diffThreads {
+				for optName, opt := range map[string]spmv.TuneOptions{"csr32": spmv.NaiveOptions(), "csr16": opts16} {
+					op, err := spmv.CompileParallel(tc.m, opt, threads, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					path := fmt.Sprintf("%s/threads=%d", optName, threads)
+					y, err := op.Mul(xs[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkBitwise(t, path+"/mul", y, refs[0])
+
+					for _, width := range diffWidths {
+						// CSR fallback views (MultiVec).
+						mo, err := op.Multi(width)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ys, err := mo.MulAll(xs[:width])
+						if err != nil {
+							t.Fatal(err)
+						}
+						for v := range ys {
+							checkBitwise(t, fmt.Sprintf("%s/multi%d/lane%d", path, width, v), ys[v], refs[v])
+						}
+						// Tuned wide views — over CSR encodings these must
+						// reproduce the same bits (the re-tuner's
+						// bit-preserving promotion contract).
+						wmo, err := op.WideMulti(width)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wys, err := wmo.MulAll(xs[:width])
+						if err != nil {
+							t.Fatal(err)
+						}
+						for v := range wys {
+							checkBitwise(t, fmt.Sprintf("%s/wide%d/lane%d", path, width, v), wys[v], refs[v])
+						}
+					}
+				}
+			}
+			_ = rows
+		})
+	}
+}
+
+// TestDifferentialBlockedFormats checks every register-blocked and
+// block-coordinate compile path — all shapes × both index widths — plus
+// their wide kernels: ULP-bounded against the reference, and bitwise
+// width-invariant (lane v of width k == the width-1 sweep).
+func TestDifferentialBlockedFormats(t *testing.T) {
+	shapes := []matrix.BlockShape{{R: 1, C: 1}, {R: 1, C: 4}, {R: 2, C: 2}, {R: 4, C: 1}, {R: 4, C: 4}}
+	if !testing.Short() {
+		shapes = append(shapes, matrix.BlockShape{R: 1, C: 2}, matrix.BlockShape{R: 2, C: 1},
+			matrix.BlockShape{R: 2, C: 4}, matrix.BlockShape{R: 4, C: 2})
+	}
+	for _, tc := range diffCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			csr, err := matrix.NewCSR[uint32](tc.coo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := laneVectors(csr.C, 8, 99)
+			refs := make([][]float64, len(xs))
+			tols := make([][]float64, len(xs))
+			for v := range xs {
+				refs[v], tols[v] = refMul(tc.coo, xs[v])
+			}
+
+			var encs []matrix.Format
+			for _, shape := range shapes {
+				b16, err := matrix.NewBCSR[uint16](csr, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b32, err := matrix.NewBCSR[uint32](csr, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c16, err := matrix.NewBCOO[uint16](csr, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c32, err := matrix.NewBCOO[uint32](csr, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				encs = append(encs, b16, b32, c16, c32)
+			}
+			for _, enc := range encs {
+				k, err := kernel.Compile(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				y := make([]float64, csr.R)
+				if err := k.MulAdd(y, xs[0]); err != nil {
+					t.Fatal(err)
+				}
+				checkBounded(t, k.Name()+"/muladd", y, refs[0], tols[0])
+
+				base := make(map[int][]float64) // lane -> width-1 wide bits
+				for _, width := range diffWidths {
+					w, err := kernel.NewWide(enc, width)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ys := wideLanes(t, w, csr.R, xs[:width])
+					for v := range ys {
+						checkBounded(t, fmt.Sprintf("%s/lane%d", w.Name(), v), ys[v], refs[v], tols[v])
+						if width == 1 {
+							base[v] = ys[v]
+						}
+					}
+					// Width invariance: lane 0 bits never depend on width.
+					checkBitwise(t, w.Name()+"/lane0-width-invariance", ys[0], base[0])
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialTunedAndCacheBlocked checks the full §4.2 tuner output
+// (register + cache + TLB blocking, serial and parallel) and a forced
+// cache-blocked encoding, at every width.
+func TestDifferentialTunedAndCacheBlocked(t *testing.T) {
+	small := spmv.DefaultTuneOptions()
+	small.CacheBudgetBytes = 1 << 12 // force cache blocking on tiny matrices
+	small.TLBEntries = 8
+	configs := map[string]spmv.TuneOptions{
+		"tuned-default":      spmv.DefaultTuneOptions(),
+		"tuned-cacheblocked": small,
+	}
+	for _, tc := range diffCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			_, cols := tc.m.Dims()
+			xs := laneVectors(cols, 8, 123)
+			refs := make([][]float64, len(xs))
+			tols := make([][]float64, len(xs))
+			for v := range xs {
+				refs[v], tols[v] = refMul(tc.coo, xs[v])
+			}
+			for name, opt := range configs {
+				for _, threads := range diffThreads {
+					op, err := spmv.CompileParallel(tc.m, opt, threads, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					path := fmt.Sprintf("%s/threads=%d", name, threads)
+					y, err := op.Mul(xs[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkBounded(t, path+"/mul", y, refs[0], tols[0])
+					for _, width := range diffWidths {
+						mo, err := op.WideMulti(width)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ys, err := mo.MulAll(xs[:width])
+						if err != nil {
+							t.Fatal(err)
+						}
+						for v := range ys {
+							checkBounded(t, fmt.Sprintf("%s/wide%d/lane%d", path, width, v), ys[v], refs[v], tols[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSymmetric checks SymCSR: ULP-bounded against the
+// reference, bitwise identical across thread counts, and bitwise
+// width-invariant per lane — at widths 1/4/8 and threads 1/2/4.
+func TestDifferentialSymmetric(t *testing.T) {
+	var sym diffCase
+	for _, tc := range diffCases(t) {
+		if tc.sym {
+			sym = tc
+		}
+	}
+	if sym.m == nil {
+		t.Fatal("no symmetric case generated")
+	}
+	rows, cols := sym.m.Dims()
+	xs := laneVectors(cols, 8, 321)
+	refs := make([][]float64, len(xs))
+	tols := make([][]float64, len(xs))
+	for v := range xs {
+		refs[v], tols[v] = refMul(sym.coo, xs[v])
+	}
+	var baseline [][]float64 // [lane] width-1 single-thread bits
+	for _, threads := range diffThreads {
+		op, err := spmv.CompileSymmetricParallel(sym.m, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := fmt.Sprintf("symcsr/threads=%d", threads)
+		for _, width := range diffWidths {
+			mo, err := op.Multi(width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ys, err := mo.MulAll(xs[:width])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ys {
+				checkBounded(t, fmt.Sprintf("%s/width%d/lane%d", path, width, v), ys[v], refs[v], tols[v])
+			}
+			if baseline == nil {
+				baseline = make([][]float64, len(xs))
+			}
+			for v := range ys {
+				if baseline[v] == nil {
+					baseline[v] = ys[v]
+				} else {
+					// One canonical reduction: bits must not depend on
+					// thread count or fused width.
+					checkBitwise(t, fmt.Sprintf("%s/width%d/lane%d/canonical", path, width, v), ys[v], baseline[v])
+				}
+			}
+		}
+	}
+	_ = rows
+}

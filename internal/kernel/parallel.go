@@ -26,6 +26,7 @@ type Parallel struct {
 	rows, cols int
 	nnz        int64
 	parts      []parallelPart
+	src        []Part    // the encoded parts as assembled (for wide views)
 	xpad       []float64 // shared padded source, nil if no part needs padding
 	cpad       int
 	name       string
@@ -74,8 +75,14 @@ func NewParallel(rows, cols int, parts []Part) (*Parallel, error) {
 	if p.cpad > cols {
 		p.xpad = make([]float64, p.cpad)
 	}
+	p.src = append([]Part(nil), parts...)
 	return p, nil
 }
+
+// Parts returns the encoded row parts the kernel was assembled from, in
+// row order. NewWideParallel builds width-k views of the same
+// decomposition from them.
+func (p *Parallel) Parts() []Part { return p.src }
 
 // SetSequential forces the parts to run one after another on the calling
 // goroutine. The simulator uses this to obtain deterministic per-part

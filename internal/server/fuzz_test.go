@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzRegisterJSON exercises the POST /v1/matrices payload path — every
+// source (suite, entries, matrix_market), the shards/symmetric modifiers,
+// and their invalid combinations — against arbitrary bodies: the handler
+// must never panic, must always answer with a well-formed JSON object,
+// and must answer the structured cases with their documented statuses.
+// The seed corpus lives alongside the mmio fuzz corpus in CI's
+// fuzz-smoke job.
+func FuzzRegisterJSON(f *testing.F) {
+	// Each source on its own.
+	f.Add(`{"suite":"QCD","scale":0.01,"seed":3}`)
+	f.Add(`{"id":"a","name":"n","rows":3,"cols":3,"entries":[[0,0,1],[1,2,-2.5],[2,2,4]]}`)
+	f.Add(`{"matrix_market":"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n"}`)
+	// Symmetric pin, both ways, and on an asymmetric matrix.
+	f.Add(`{"rows":2,"cols":2,"entries":[[0,1,2],[1,0,2]],"symmetric":true}`)
+	f.Add(`{"rows":2,"cols":2,"entries":[[0,1,2]],"symmetric":true}`)
+	f.Add(`{"rows":2,"cols":2,"entries":[[0,1,2]],"symmetric":false}`)
+	// Shards without a cluster, and shards combined with symmetric.
+	f.Add(`{"suite":"LP","scale":0.01,"shards":4}`)
+	f.Add(`{"suite":"LP","scale":0.01,"shards":2,"symmetric":true}`)
+	// Ambiguous multi-source requests.
+	f.Add(`{"suite":"QCD","rows":2,"cols":2,"entries":[[0,0,1]]}`)
+	f.Add(`{"suite":"QCD","matrix_market":"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n"}`)
+	// Malformed payloads: bad JSON, bad indices, bad dims, unknown suite.
+	f.Add(`{"rows":2,"cols":2`)
+	f.Add(`{"rows":-1,"cols":2,"entries":[[0,0,1]]}`)
+	f.Add(`{"rows":2,"cols":2,"entries":[[0.5,0,1]]}`)
+	f.Add(`{"rows":2,"cols":2,"entries":[[9,9,1]]}`)
+	f.Add(`{"suite":"NotASuite"}`)
+	f.Add(`{"rows":1000000000,"cols":1000000000,"entries":[[0,0,1]]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`"x"`)
+	f.Add(`{"matrix_market":"%%MatrixMarket matrix array real general\n-3 2\n"}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cfg := DefaultConfig()
+		cfg.Threads = 1
+		cfg.Workers = 1
+		cfg.MaxBatch = 1
+		cfg.MaxBodyBytes = 1 << 16 // bound hostile payload cost per exec
+		s := New(cfg)
+		defer s.Close()
+
+		req := httptest.NewRequest("POST", "/v1/matrices", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		code := rec.Code
+		if code != 201 && (code < 400 || code > 599) {
+			t.Fatalf("status %d for body %q, want 201 or an error status", code, body)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("non-JSON response %q for body %q: %v", rec.Body.String(), body, err)
+		}
+		if code == 201 {
+			// Anything accepted must be immediately servable: listed with
+			// its dimensions and tunable state.
+			if _, ok := parsed["id"]; !ok {
+				t.Fatalf("201 response without an id: %q", rec.Body.String())
+			}
+		} else if _, ok := parsed["error"]; !ok {
+			t.Fatalf("error status %d without an error field: %q", code, rec.Body.String())
+		}
+	})
+}
+
+// TestRegisterFuzzSeedsStatuses pins the documented status codes of the
+// structured seed payloads (the fuzzer itself only requires "no panic,
+// well-formed JSON").
+func TestRegisterFuzzSeedsStatuses(t *testing.T) {
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"rows":3,"cols":3,"entries":[[0,0,1],[1,2,-2.5],[2,2,4]]}`, 201},
+		{`{"rows":2,"cols":2,"entries":[[0,1,2],[1,0,2]],"symmetric":true}`, 201},
+		{`{"rows":2,"cols":2,"entries":[[0,1,2]],"symmetric":true}`, 400},
+		{`{"suite":"LP","scale":0.01,"shards":4}`, 400},                // no cluster attached
+		{`{"suite":"QCD","rows":2,"cols":2,"entries":[[0,0,1]]}`, 400}, // ambiguous
+		{`{"rows":2,"cols":2`, 400},
+		{`{"suite":"NotASuite"}`, 400},
+		{`{}`, 400},
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.Workers = 1
+	cfg.RetuneInterval = time.Hour // exercise the scanner's lifecycle too
+	s := New(cfg)
+	defer s.Close()
+	for _, tc := range cases {
+		req := httptest.NewRequest("POST", "/v1/matrices", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}

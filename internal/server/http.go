@@ -59,17 +59,19 @@ type errorResponse struct {
 
 // Handler returns the HTTP API of the serving subsystem:
 //
-//	POST /v1/matrices          register a matrix (suite | entries | matrix_market; optional shards)
-//	GET  /v1/matrices          list registered matrices (local and sharded)
-//	POST /v1/matrices/{id}/mul compute y = A·x (coalesced with concurrent calls)
-//	GET  /v1/stats             JSON counter snapshot (+ cluster rollup when attached)
-//	GET  /v1/cluster           shard topology: members and sharded matrices
-//	GET  /metrics              Prometheus-style counters
+//	POST /v1/matrices             register a matrix (suite | entries | matrix_market; optional shards)
+//	GET  /v1/matrices             list registered matrices (local and sharded)
+//	POST /v1/matrices/{id}/mul    compute y = A·x (coalesced with concurrent calls)
+//	GET  /v1/matrices/{id}/tuning online re-tuner state: generation, drift, decision log
+//	GET  /v1/stats                JSON counter snapshot (+ cluster rollup when attached)
+//	GET  /v1/cluster              shard topology: members and sharded matrices
+//	GET  /metrics                 Prometheus-style counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
+	mux.HandleFunc("GET /v1/matrices/{id}/tuning", s.handleTuning)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -257,6 +259,19 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mulResponse{Y: y})
 }
 
+func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Tuning(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownMatrix) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
 // statsResponse is /v1/stats: the local serving counters, plus the cluster
 // rollup when this server fronts a shard coordinator. The embedded Stats
 // keeps the flat single-node schema stable for existing consumers.
@@ -305,6 +320,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("spmv_serve_matrices_registered", "gauge", "Matrices in the registry.", st.Registered)
 	put("spmv_serve_compiles_total", "counter", "Tuner+compile runs (operator-cache misses).", st.Compiles)
 	put("spmv_serve_compile_hits_total", "counter", "Operator-cache hits.", st.CompileHits)
+	put("spmv_serve_retune_evals_total", "counter", "Drifted matrices shadow-benchmarked by the re-tuner.", st.RetuneEvals)
+	put("spmv_serve_retune_promotions_total", "counter", "Re-tuned operators promoted to serving.", st.RetunePromotions)
+	put("spmv_serve_retune_rejections_total", "counter", "Re-tune candidates rejected by the shadow benchmark.", st.RetuneRejections)
 	put("spmv_serve_matrix_bytes_total", "counter", "Modeled matrix-stream DRAM bytes moved.", st.MatrixBytes)
 	put("spmv_serve_source_bytes_total", "counter", "Modeled source-vector DRAM bytes moved.", st.SourceBytes)
 	put("spmv_serve_dest_bytes_total", "counter", "Modeled destination-vector DRAM bytes moved.", st.DestBytes)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	spmv "repro"
 )
@@ -20,6 +21,49 @@ import (
 type opKey struct {
 	opts    spmv.TuneOptions
 	threads int
+}
+
+// serving is one immutable serving configuration for an entry: the
+// operator answering requests, how its fused sweeps execute, and the
+// modeled traffic they move. Entries swap configurations atomically
+// (copy-on-write): a sweep loads the pointer once and runs entirely on
+// that snapshot, so in-flight sweeps drain on the old operator while new
+// arrivals see the promoted one — no locks on the hot path, no torn
+// reads of operator/shard-plan pairs.
+type serving struct {
+	op  *spmv.Operator
+	sym bool // fused sweeps run the internally-parallel symmetric kernel
+	// wide routes fused sweeps through the operator's tuned wide views
+	// (Operator.WideMulti) instead of the CSR multi-RHS fallback — set by
+	// the re-tuner when it promotes a workload-tuned encoding.
+	wide bool
+	// width is the fused-RHS width this operator was tuned for; the
+	// re-tuner measures workload drift against it.
+	width int
+	// gen counts promotions: 0 is the registration-time tune.
+	gen    int
+	shards []spmv.RowRange // row partition for CSR fused sweeps (nil when sym/wide)
+	// Modeled single-RHS sweep traffic (internal/traffic) of the serving
+	// path, the basis for the server's bytes-moved counters.
+	matrixBytes, sourceBytes, destBytes int64
+	// lone is the traffic of the non-deterministic width-1 fast path,
+	// which runs the tuned operator directly instead of the fused-path
+	// stream the fields above model. Equal to them whenever the lone
+	// path streams the same structure (sym and wide snapshots).
+	lone spmv.TrafficSummary
+	// cacheKey locates op in the entry's general-operator cache so a
+	// later promotion can evict the demoted encoding; nil when op is the
+	// symmetric operator (cached per thread count instead).
+	cacheKey *opKey
+}
+
+// summary returns the snapshot's modeled per-sweep fused-path traffic.
+func (sv *serving) summary() spmv.TrafficSummary {
+	return spmv.TrafficSummary{
+		MatrixBytes: sv.matrixBytes,
+		SourceBytes: sv.sourceBytes,
+		DestBytes:   sv.destBytes,
+	}
 }
 
 // Entry is one registered matrix with its cached compiled operators and
@@ -39,13 +83,25 @@ type Entry struct {
 	// have no tune options), mirroring the ops cache.
 	symOps map[int]*spmv.Operator
 
-	// Serving-path state, built once when the default operator compiles.
-	def    *spmv.Operator  // default operator (registry's tune opts/threads)
-	sym    bool            // def is the parallel symmetric operator
-	shards []spmv.RowRange // nonzero-balanced row partition for fused sweeps
-	// Modeled single-RHS sweep traffic (internal/traffic), the basis for
-	// the server's bytes-moved counters.
-	matrixBytes, sourceBytes, destBytes int64
+	// cur is the entry's serving snapshot; nil until the registration-time
+	// tune finishes. See serving.
+	cur atomic.Pointer[serving]
+
+	// work observes the entry's request mix (fused-width histogram and a
+	// ring of recent sweep shapes) — the drift signal and shadow-benchmark
+	// sample the re-tuner consumes.
+	work workload
+
+	// tuneMu serializes re-tune evaluations of this entry; events is the
+	// bounded decision log behind GET /v1/matrices/{id}/tuning.
+	// lastEvalRequests paces evaluations by fresh traffic;
+	// lastRejectedWidth suppresses re-evaluating (and recompiling) the
+	// identical candidate while the observed median hasn't moved since a
+	// rejection.
+	tuneMu            sync.Mutex
+	events            []TuningEvent
+	lastEvalRequests  uint64
+	lastRejectedWidth int
 
 	// bufs recycles interleaved x/y blocks between fused sweeps so the
 	// steady-state hot path allocates only the result vectors it hands to
@@ -152,6 +208,12 @@ func (e *Entry) dropSymOperator(threads int) {
 	e.mu.Unlock()
 }
 
+// MaxDeclaredDim caps a registered matrix's declared rows and columns
+// (128Mi): large enough for any full-scale suite twin or shard band, small
+// enough that per-dimension allocations (row pointers, pad buffers,
+// traffic-model stamps) stay bounded against hostile registrations.
+const MaxDeclaredDim = 1 << 27
+
 // Registry holds the served matrices. All methods are safe for concurrent
 // use.
 type Registry struct {
@@ -177,6 +239,21 @@ func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
 	rows, cols := m.Dims()
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("server: empty matrix %dx%d", rows, cols)
+	}
+	// A declared shape vastly larger than the stored entries is hostile or
+	// mistaken: compiling it would allocate row pointers (and traffic-model
+	// scratch) for billions of empty rows no request could ever use. Rows
+	// get a 64x allowance over the stored entries — keeping every
+	// legitimately empty-row-heavy shape (webbase, and the row bands a
+	// shard coordinator registers on members, whose nnz shrinks with the
+	// band while cols stays full) — and both dimensions get an absolute
+	// cap, so the allocation a registration can force stays a bounded
+	// multiple of what its payload paid for.
+	if rows > MaxDeclaredDim || cols > MaxDeclaredDim {
+		return nil, fmt.Errorf("server: dimensions %dx%d exceed the %d limit", rows, cols, MaxDeclaredDim)
+	}
+	if int64(rows) > 64*(m.NNZ()+4096) {
+		return nil, fmt.Errorf("server: %d rows unreasonably exceed %d stored entries", rows, m.NNZ())
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

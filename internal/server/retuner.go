@@ -1,0 +1,345 @@
+// Online workload-aware re-tuning. Williams et al. show the best SpMV
+// format/blocking choice depends on the workload as well as the matrix —
+// the reason OSKI-style systems keep re-tuning as usage evolves. The
+// serving layer tunes each matrix once at registration with a width-1
+// guess; the re-tuner closes the loop:
+//
+//  1. Observe: every executed sweep records its fused width in the
+//     entry's workload tracker (fused-width histogram + a ring of recent
+//     sweep shapes).
+//  2. Detect drift: a background scanner compares the request-weighted
+//     median width against the width the serving operator was tuned for;
+//     past Config.RetuneDrift (and RetuneMinRequests of fresh signal) the
+//     entry is re-evaluated.
+//  3. Re-tune off the hot path: the scanner's goroutine re-runs the §4.2
+//     tuner with workload-derived options — VectorWidth from the
+//     histogram median, and (when bit changes are allowed) a symmetric
+//     candidate for square matrices.
+//  4. Shadow benchmark: each candidate is scored on the captured sample
+//     of real request shapes with the traffic model — modeled DRAM bytes
+//     per request, the same currency as the paper's §5.1 bound — against
+//     the incumbent's serving traffic.
+//  5. Promote atomically: a winning candidate replaces the entry's
+//     serving snapshot copy-on-write; in-flight sweeps drain on the old
+//     operator while new batches load the new one. Decisions (promotions
+//     and rejections) land in a bounded per-entry event log exposed at
+//     GET /v1/matrices/{id}/tuning and in the /v1/stats counters.
+//
+// Determinism: when Config.Deterministic is set the candidate search is
+// restricted to the CSR family (row-partitioned, any index width), whose
+// wide kernels are bit-identical to the default CSR multi-RHS path at
+// every width — so a promotion can shrink the fused matrix stream (e.g.
+// 16-bit indices) without changing a single response bit. With
+// determinism off, the full workload-tuned blocked encoding and the
+// symmetric operator are on the table.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	spmv "repro"
+)
+
+// retunePromoteMargin is the minimum modeled bytes-per-request improvement
+// a candidate must show before it replaces the incumbent: promotion churn
+// has a cost (a compiled encoding, a warm-up), so ties go to the sitter.
+const retunePromoteMargin = 0.02
+
+// maxTuningEvents bounds each entry's decision log.
+const maxTuningEvents = 32
+
+// TuningEvent is one re-tune decision for a matrix.
+type TuningEvent struct {
+	Time     time.Time `json:"time"`
+	Decision string    `json:"decision"` // "promoted" or "rejected"
+	Reason   string    `json:"reason,omitempty"`
+	// ObservedWidth is the request-weighted median fused width that
+	// triggered the evaluation; Drift its distance from the tuned width.
+	ObservedWidth int     `json:"observed_width"`
+	Drift         float64 `json:"drift"`
+	// Modeled DRAM bytes per request on the captured request sample —
+	// the shadow benchmark's scores.
+	IncumbentBytesPerRequest float64 `json:"incumbent_bytes_per_request"`
+	CandidateBytesPerRequest float64 `json:"candidate_bytes_per_request"`
+	// Kernel names the candidate's compiled kernel; Generation is the
+	// serving generation after the decision (unchanged on rejection).
+	Kernel     string `json:"kernel"`
+	Generation int    `json:"generation"`
+}
+
+// TuningReport is GET /v1/matrices/{id}/tuning: the live tuner state of
+// one registered matrix.
+type TuningReport struct {
+	ID         string `json:"id"`
+	Generation int    `json:"generation"`
+	Kernel     string `json:"kernel"`
+	Symmetric  bool   `json:"symmetric"`
+	// Wide reports that fused sweeps stream the tuned encoding (wide
+	// kernels) rather than the CSR fallback.
+	Wide       bool `json:"wide"`
+	TunedWidth int  `json:"tuned_width"`
+	// Observed workload since registration.
+	ObservedMedianWidth int     `json:"observed_median_width"`
+	ObservedRequests    uint64  `json:"observed_requests"`
+	ObservedSweeps      uint64  `json:"observed_sweeps"`
+	Drift               float64 `json:"drift"`
+	// MatrixBytes is the modeled per-sweep matrix stream as served.
+	MatrixBytes int64         `json:"matrix_bytes"`
+	Events      []TuningEvent `json:"events,omitempty"`
+}
+
+// Tuning returns the re-tuner's view of one registered matrix.
+func (s *Server) Tuning(id string) (TuningReport, error) {
+	e, err := s.reg.Get(id)
+	if err != nil {
+		return TuningReport{}, err
+	}
+	rep := TuningReport{
+		ID:                  e.ID,
+		ObservedMedianWidth: e.work.medianWidth(),
+		ObservedRequests:    e.work.requests.Load(),
+		ObservedSweeps:      e.work.sweeps.Load(),
+	}
+	if sv := e.cur.Load(); sv != nil {
+		rep.Generation = sv.gen
+		rep.Kernel = sv.op.KernelName()
+		rep.Symmetric = sv.sym
+		rep.Wide = sv.wide
+		rep.TunedWidth = sv.width
+		rep.MatrixBytes = sv.matrixBytes
+		rep.Drift = widthDrift(sv.width, rep.ObservedMedianWidth)
+	}
+	e.tuneMu.Lock()
+	rep.Events = append([]TuningEvent(nil), e.events...)
+	e.tuneMu.Unlock()
+	return rep, nil
+}
+
+// retuneLoop is the background scanner started by New when
+// Config.RetuneInterval > 0.
+func (s *Server) retuneLoop() {
+	defer close(s.retuneDone)
+	ticker := time.NewTicker(s.cfg.RetuneInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.retuneStop:
+			return
+		case <-ticker.C:
+			s.RetuneOnce()
+		}
+	}
+}
+
+// RetuneOnce synchronously evaluates every registered matrix for workload
+// drift and promotes winning candidates, returning the number of
+// promotions. It is what each background scan runs; tests and demos call
+// it directly to re-tune without waiting out the interval.
+func (s *Server) RetuneOnce() int {
+	promoted := 0
+	for _, e := range s.reg.List() {
+		if s.evaluateEntry(e) {
+			promoted++
+		}
+	}
+	return promoted
+}
+
+// retuneCandidate is one compiled contender in a shadow benchmark.
+type retuneCandidate struct {
+	op      *spmv.Operator
+	traffic spmv.TrafficSummary // per-sweep traffic as it would be served
+	score   float64             // modeled bytes per request on the sample
+	// cacheKey locates op in the entry's general-operator cache (nil when
+	// op is the symmetric operator, cached per thread count) so losers
+	// can be evicted instead of holding a matrix-sized encoding.
+	cacheKey *opKey
+}
+
+// evaluateEntry runs steps 2-5 for one entry, reporting whether a
+// promotion happened. Evaluations of the same entry are serialized by
+// tuneMu — the snapshot is loaded under it, so concurrent RetuneOnce
+// calls and the background scanner always evaluate (and replace) the
+// current generation, never a stale one. The serving hot path is never
+// blocked (it only loads e.cur).
+func (s *Server) evaluateEntry(e *Entry) bool {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	sv := e.cur.Load()
+	if sv == nil {
+		return false
+	}
+	req := e.work.requests.Load()
+	if req-e.lastEvalRequests < uint64(s.cfg.RetuneMinRequests) {
+		return false
+	}
+	med := e.work.medianWidth()
+	drift := widthDrift(sv.width, med)
+	if drift < s.cfg.RetuneDrift {
+		return false
+	}
+	if med == e.lastRejectedWidth {
+		// A steadily drifted workload whose candidate already lost would
+		// otherwise recompile and re-reject the identical candidate on
+		// every pacing quantum; wait for the median itself to move.
+		return false
+	}
+	s.st.retuneEvals.Add(1)
+	// Either way this evaluation resolves, wait for fresh signal before
+	// the next one: without this, a rejected candidate would be rebuilt
+	// and re-rejected on every scan of a steadily drifted workload.
+	e.lastEvalRequests = req
+
+	sample := e.work.sample()
+	if len(sample) == 0 {
+		sample = []int{med}
+	}
+	incumbentScore := incumbentBlended(sv, !s.cfg.Deterministic && !sv.sym && !sv.wide, sample)
+
+	cands := s.buildCandidates(e, sv, med, sample)
+	var best *retuneCandidate
+	for i := range cands {
+		if best == nil || cands[i].score < best.score {
+			best = &cands[i]
+		}
+	}
+	// Evict a contender's cached encoding — unless it is (or became) the
+	// serving operator — so losers don't hold matrix-sized structures for
+	// the entry's lifetime (the same rule prepare applies to the
+	// auto-symmetric comparison's loser).
+	drop := func(op *spmv.Operator, key *opKey) {
+		if op == nil || op == e.cur.Load().op {
+			return
+		}
+		if key != nil {
+			e.dropOperator(key.opts, key.threads)
+		} else {
+			e.dropSymOperator(s.cfg.Threads)
+		}
+	}
+	ev := TuningEvent{
+		Time: time.Now(), ObservedWidth: med, Drift: drift,
+		IncumbentBytesPerRequest: incumbentScore,
+		Generation:               sv.gen,
+	}
+	switch {
+	case best == nil:
+		ev.Decision = "rejected"
+		ev.Reason = "no viable candidate encoding"
+		ev.Kernel = sv.op.KernelName()
+	case best.op == sv.op:
+		ev.Decision = "rejected"
+		ev.Reason = "candidate is the incumbent"
+		ev.Kernel = sv.op.KernelName()
+		ev.CandidateBytesPerRequest = best.score
+	case best.score < incumbentScore*(1-retunePromoteMargin):
+		nsv := &serving{
+			op: best.op, sym: best.op.Symmetric(), wide: !best.op.Symmetric(),
+			width: med, gen: sv.gen + 1,
+			matrixBytes: best.traffic.MatrixBytes,
+			sourceBytes: best.traffic.SourceBytes,
+			destBytes:   best.traffic.DestBytes,
+			// Promoted operators never take the lone fast path (wide and
+			// sym snapshots fuse every width), so lone == fused.
+			lone:     best.traffic,
+			cacheKey: best.cacheKey,
+		}
+		e.cur.Store(nsv)
+		ev.Decision = "promoted"
+		ev.Kernel = best.op.KernelName()
+		ev.CandidateBytesPerRequest = best.score
+		ev.Generation = nsv.gen
+		drop(sv.op, sv.cacheKey) // the demoted incumbent
+	default:
+		ev.Decision = "rejected"
+		ev.Reason = fmt.Sprintf("modeled improvement below the %.0f%% promotion margin", 100*retunePromoteMargin)
+		ev.Kernel = best.op.KernelName()
+		ev.CandidateBytesPerRequest = best.score
+	}
+	for i := range cands {
+		drop(cands[i].op, cands[i].cacheKey) // rejected and runner-up contenders
+	}
+	e.events = append(e.events, ev)
+	if len(e.events) > maxTuningEvents {
+		e.events = e.events[len(e.events)-maxTuningEvents:]
+	}
+	if ev.Decision == "promoted" {
+		e.lastRejectedWidth = 0
+		s.st.retunePromotions.Add(1)
+		return true
+	}
+	e.lastRejectedWidth = med
+	s.st.retuneRejections.Add(1)
+	return false
+}
+
+// incumbentBlended scores the serving snapshot on the sampled widths.
+// When the lone fast path is live (non-deterministic general snapshots
+// run the tuned operator for width-1 batches), width-1 sweeps are
+// charged at its traffic; everything else at the fused path's.
+func incumbentBlended(sv *serving, loneLive bool, widths []int) float64 {
+	fused := sv.summary()
+	loneTotal := float64(sv.lone.TotalBytes())
+	var total float64
+	for _, w := range widths {
+		if w <= 1 && loneLive {
+			total += loneTotal
+			continue
+		}
+		total += fused.BlendedPerRequest([]int{w})
+	}
+	return total / float64(len(widths))
+}
+
+// buildCandidates compiles the workload-derived contenders for an entry,
+// each scored on the captured sample. Candidates go through the entry's
+// operator cache (the registry's compile-once contract); the evaluation's
+// decision then evicts the losers, and lastRejectedWidth keeps an
+// unchanged median from recompiling an already-rejected candidate.
+func (s *Server) buildCandidates(e *Entry, sv *serving, width int, sample []int) []retuneCandidate {
+	var cands []retuneCandidate
+	// General candidate: the tuner re-run with workload-derived options.
+	// Its fused sweeps stream the tuned encoding through the wide kernels,
+	// so it is scored on that encoding's own traffic.
+	opts := s.retuneOptions(width)
+	if op, err := e.Operator(opts, s.cfg.Threads, &s.st); err == nil {
+		if tr, err := op.WideTraffic(spmv.TrafficOptions{}); err == nil {
+			cands = append(cands, retuneCandidate{
+				op: op, traffic: tr, score: tr.BlendedPerRequest(sample),
+				cacheKey: &opKey{opts: opts, threads: s.cfg.Threads},
+			})
+		}
+	}
+	// Symmetric candidate: only when family switches are allowed — the
+	// symmetric reduction order differs from the CSR family's, so under
+	// Deterministic it would break the bitwise-stable-responses contract.
+	if !s.cfg.Deterministic && !sv.sym && e.rows == e.cols {
+		if op, err := e.SymOperator(s.cfg.Threads, &s.st); err == nil {
+			if tr, err := op.Traffic(spmv.TrafficOptions{}); err == nil {
+				cands = append(cands, retuneCandidate{op: op, traffic: tr, score: tr.BlendedPerRequest(sample)})
+			}
+		}
+	}
+	return cands
+}
+
+// retuneOptions derives tuner options from the observed workload: the
+// blocking heuristics target the observed fused width. Deterministic
+// serving additionally restricts the search to the CSR family (whose wide
+// kernels reproduce the default path's bits at every width), leaving
+// index-width reduction as the only lever — re-tuning then trims the
+// fused matrix stream without moving a single response bit.
+func (s *Server) retuneOptions(width int) spmv.TuneOptions {
+	opts := s.cfg.Tune
+	opts.VectorWidth = width
+	if s.cfg.Deterministic {
+		opts.RegisterBlock = false
+		opts.AllowBCOO = false
+		opts.CacheBlock = false
+		opts.TLBBlock = false
+		opts.FixedColumnSpan = 0
+		opts.TrySymmetric = false
+	}
+	return opts
+}

@@ -69,7 +69,35 @@ type Config struct {
 	// members of a fleet sharding very large matrices need it raised in
 	// step with their band sizes.
 	MaxBodyBytes int64
+
+	// RetuneInterval enables workload-aware online re-tuning: a background
+	// scanner wakes at this interval, measures each matrix's observed
+	// request mix against the width its serving operator was tuned for,
+	// and — past the drift threshold — re-runs the tuner with workload-
+	// derived options in a worker off the hot path, promoting the
+	// candidate only when it wins a modeled shadow benchmark on captured
+	// request shapes (see retuner.go). <= 0 disables the scanner;
+	// RetuneOnce still evaluates on demand.
+	RetuneInterval time.Duration
+
+	// RetuneDrift is the width-drift threshold in (0, 1] that triggers a
+	// re-tune evaluation: 1 - min/max of tuned vs observed median width,
+	// so 0.5 fires on a 2× shift. <= 0 means the 0.5 default.
+	RetuneDrift float64
+
+	// RetuneMinRequests is how many fresh requests an entry must serve
+	// between re-tune evaluations — both the drift signal's sample floor
+	// and the pacing that keeps rejected candidates from being recompiled
+	// every scan. <= 0 means the default of 64.
+	RetuneMinRequests int
 }
+
+// DefaultRetuneDrift and DefaultRetuneMinRequests back the zero values of
+// the re-tuning knobs.
+const (
+	DefaultRetuneDrift       = 0.5
+	DefaultRetuneMinRequests = 64
+)
 
 // DefaultMaxBodyBytes is the request-body cap applied when
 // Config.MaxBodyBytes is unset: 256 MiB, sized to admit any single-node
@@ -105,6 +133,11 @@ type Server struct {
 	// fleet: registrations with shards >= 2 and Muls against sharded ids
 	// route through it. Set once before serving (AttachCluster).
 	cluster *Cluster
+
+	// retuneStop/retuneDone bracket the background re-tune scanner's
+	// lifetime (nil when RetuneInterval <= 0).
+	retuneStop chan struct{}
+	retuneDone chan struct{}
 }
 
 // New starts a server. Call Close to stop its workers.
@@ -124,13 +157,32 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.RetuneDrift <= 0 {
+		cfg.RetuneDrift = DefaultRetuneDrift
+	}
+	if cfg.RetuneMinRequests <= 0 {
+		cfg.RetuneMinRequests = DefaultRetuneMinRequests
+	}
 	s := &Server{cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps), batchers: make(map[string]*batcher)}
 	s.reg = NewRegistry(&s.st)
+	if cfg.RetuneInterval > 0 {
+		s.retuneStop = make(chan struct{})
+		s.retuneDone = make(chan struct{})
+		go s.retuneLoop()
+	}
 	return s
 }
 
-// Close stops the worker pool. In-flight requests must have drained.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the re-tune scanner and the worker pool. In-flight requests
+// must have drained.
+func (s *Server) Close() {
+	if s.retuneStop != nil {
+		close(s.retuneStop)
+		<-s.retuneDone
+		s.retuneStop = nil
+	}
+	s.pool.Close()
+}
 
 // Registry exposes the underlying registry (read-mostly callers: List/Get).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -167,19 +219,18 @@ type MatrixInfo struct {
 }
 
 func (s *Server) info(e *Entry) MatrixInfo {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.def == nil {
+	sv := e.cur.Load()
+	if sv == nil {
 		return MatrixInfo{ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz}
 	}
 	return MatrixInfo{
 		ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
-		Kernel: e.def.KernelName(), Symmetric: e.sym,
-		Footprint: e.def.FootprintBytes(),
-		Baseline:  e.def.BaselineBytes(), Savings: e.def.Savings(),
-		Threads: e.def.Threads(), Shards: len(e.shards),
-		SweepBytes:  e.matrixBytes + e.sourceBytes + e.destBytes,
-		MatrixBytes: e.matrixBytes,
+		Kernel: sv.op.KernelName(), Symmetric: sv.sym,
+		Footprint: sv.op.FootprintBytes(),
+		Baseline:  sv.op.BaselineBytes(), Savings: sv.op.Savings(),
+		Threads: sv.op.Threads(), Shards: len(sv.shards),
+		SweepBytes:  sv.matrixBytes + sv.sourceBytes + sv.destBytes,
+		MatrixBytes: sv.matrixBytes,
 	}
 }
 
@@ -291,16 +342,36 @@ func (s *Server) prepare(e *Entry, opts RegisterOptions) error {
 			return err
 		}
 	}
-	tr, err := def.Traffic(spmv.TrafficOptions{})
+	// Account the traffic of what the serving paths actually stream: the
+	// symmetric kernel's halved store for symmetric entries; for general
+	// ones, the retained CSR fallback on the fused path (Multi's views
+	// stream it regardless of the tuned single-vector encoding) and the
+	// tuned encoding itself on the non-deterministic width-1 fast path.
+	// Serial and parallel operators then report identically — which also
+	// keeps the re-tuner's incumbent score honest on single-thread
+	// servers.
+	var tr, lone spmv.TrafficSummary
+	var err error
+	if def.Symmetric() {
+		tr, err = def.Traffic(spmv.TrafficOptions{})
+		lone = tr
+	} else {
+		if tr, err = def.MultiTraffic(spmv.TrafficOptions{}); err == nil {
+			lone, err = def.WideTraffic(spmv.TrafficOptions{})
+		}
+	}
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	e.def = def
-	e.sym = def.Symmetric()
-	e.shards = shards
-	e.matrixBytes, e.sourceBytes, e.destBytes = tr.MatrixBytes, tr.SourceBytes, tr.DestBytes
-	e.mu.Unlock()
+	sv := &serving{
+		op: def, sym: def.Symmetric(), width: 1, shards: shards,
+		matrixBytes: tr.MatrixBytes, sourceBytes: tr.SourceBytes, destBytes: tr.DestBytes,
+		lone: lone,
+	}
+	if !sv.sym {
+		sv.cacheKey = &opKey{opts: s.cfg.Tune, threads: s.cfg.Threads}
+	}
+	e.cur.Store(sv)
 	return nil
 }
 
@@ -316,10 +387,7 @@ func (s *Server) Mul(id string, x []float64) ([]float64, error) {
 	if len(x) != e.cols {
 		return nil, fmt.Errorf("server: matrix %q is %dx%d, len(x)=%d", id, e.rows, e.cols, len(x))
 	}
-	e.mu.Lock()
-	ready := e.def != nil
-	e.mu.Unlock()
-	if !ready {
+	if e.cur.Load() == nil {
 		return nil, fmt.Errorf("server: matrix %q is still compiling", id)
 	}
 	s.st.requests.Add(1)
@@ -338,30 +406,53 @@ func (s *Server) batcherFor(e *Entry) *batcher {
 	return b
 }
 
+// recordSweep accounts one executed sweep in the global counters and the
+// entry's workload observation (the re-tuner's drift signal). lonePath
+// marks the non-deterministic width-1 fast path, which streams the tuned
+// operator's own encoding rather than the fused path's.
+func (s *Server) recordSweep(e *Entry, sv *serving, width int, lonePath bool) {
+	if lonePath {
+		s.st.recordSweep(width, sv.lone.MatrixBytes, sv.lone.SourceBytes, sv.lone.DestBytes)
+	} else {
+		s.st.recordSweep(width, sv.matrixBytes, sv.sourceBytes, sv.destBytes)
+	}
+	e.work.record(width)
+}
+
 // executeBatch runs one closed batch as a multi-RHS sweep sharded over the
 // pool. Width-1 batches take the same CSR sweep path when Deterministic
 // (so lone and fused requests produce identical bits) and the per-request
-// tuned parallel operator otherwise.
+// tuned parallel operator otherwise. The whole batch runs on one serving
+// snapshot loaded up front, so a concurrent re-tune promotion never
+// mixes operators within a sweep — in-flight sweeps drain on the
+// snapshot they started with.
 func (s *Server) executeBatch(e *Entry, reqs []*pending) {
+	sv := e.cur.Load()
 	width := len(reqs)
 	fail := func(err error) {
 		for _, p := range reqs {
 			p.ch <- mulResult{err: err}
 		}
 	}
-	// Symmetric entries always take the multi-RHS path below: their
-	// operator IS the deterministic kernel, and the path lets its
-	// internal phases run under the pool's concurrency bounds.
-	if width == 1 && !s.cfg.Deterministic && !e.sym {
+	// Symmetric and wide entries always take the multi-RHS path below:
+	// their operator IS the deterministic kernel, and the path lets its
+	// internal tasks run under the pool's concurrency bounds.
+	if width == 1 && !s.cfg.Deterministic && !sv.sym && !sv.wide {
 		var y []float64
 		var err error
-		s.pool.RunSweep([]func(){func() { y, err = e.def.Mul(reqs[0].x) }})
-		s.st.recordSweep(1, e.matrixBytes, e.sourceBytes, e.destBytes)
+		s.pool.RunSweep([]func(){func() { y, err = sv.op.Mul(reqs[0].x) }})
+		s.recordSweep(e, sv, 1, true)
 		reqs[0].ch <- mulResult{y: y, err: err}
 		return
 	}
 
-	mo, err := e.def.Multi(width)
+	var mo *spmv.MultiOperator
+	var err error
+	if sv.wide {
+		mo, err = sv.op.WideMulti(width)
+	} else {
+		mo, err = sv.op.Multi(width)
+	}
 	if err != nil {
 		fail(err)
 		return
@@ -389,20 +480,20 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 
 	var errMu sync.Mutex
 	var sweepErr error
-	if e.sym {
-		// The symmetric sweep cannot be row-sharded externally (its
-		// scatter writes outside any row range); instead its two internal
-		// phases hand their task sets to the pool, so symmetric kernel
-		// work respects the same worker and sweep-concurrency bounds as
-		// general row shards.
+	if sv.sym || sv.wide {
+		// Symmetric and tuned wide sweeps cannot be row-sharded externally
+		// (the symmetric scatter escapes any row range; wide kernels carry
+		// their own part decomposition); instead their internal task sets
+		// go to the pool, so this work respects the same worker and
+		// sweep-concurrency bounds as general row shards.
 		if err := mo.MulAddBlockExec(yBlock, xBlock, s.pool.RunSweep); err != nil {
 			errMu.Lock()
 			sweepErr = err
 			errMu.Unlock()
 		}
 	} else {
-		shards := make([]func(), len(e.shards))
-		for i, rg := range e.shards {
+		shards := make([]func(), len(sv.shards))
+		for i, rg := range sv.shards {
 			lo, hi := rg.Lo, rg.Hi
 			shards[i] = func() {
 				if err := mo.MulAddRows(yBlock, xBlock, lo, hi); err != nil {
@@ -418,7 +509,7 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 		fail(sweepErr)
 		return
 	}
-	s.st.recordSweep(width, e.matrixBytes, e.sourceBytes, e.destBytes)
+	s.recordSweep(e, sv, width, false)
 	// Deinterleave with one sequential pass over the block.
 	ys := make([][]float64, width)
 	for v := range ys {
@@ -467,3 +558,6 @@ func (c *Client) Matrices() []MatrixInfo {
 
 // Stats snapshots the serving counters.
 func (c *Client) Stats() Stats { return c.s.Stats() }
+
+// Tuning returns the online re-tuner's state for a registered matrix.
+func (c *Client) Tuning(id string) (TuningReport, error) { return c.s.Tuning(id) }

@@ -21,6 +21,10 @@ type stats struct {
 	compiles    atomic.Uint64 // tuner+compile runs (operator-cache misses)
 	compileHits atomic.Uint64 // operator-cache hits
 
+	retuneEvals      atomic.Uint64 // drifted entries shadow-benchmarked
+	retunePromotions atomic.Uint64 // candidates promoted to serving
+	retuneRejections atomic.Uint64 // candidates rejected by the benchmark
+
 	matrixBytes atomic.Int64 // modeled matrix-stream DRAM bytes moved
 	sourceBytes atomic.Int64 // modeled source-vector DRAM bytes moved
 	destBytes   atomic.Int64 // modeled destination-vector DRAM bytes moved
@@ -66,6 +70,12 @@ type Stats struct {
 	Compiles    uint64 // tuner+compile runs (operator-cache misses)
 	CompileHits uint64 // operator-cache hits
 
+	// Online re-tuning (see retuner.go): drifted entries evaluated, and
+	// how their shadow benchmarks resolved.
+	RetuneEvals      uint64
+	RetunePromotions uint64
+	RetuneRejections uint64
+
 	// Modeled DRAM traffic (internal/traffic) actually moved by the
 	// executed sweeps, and the matrix-stream bytes fusion avoided versus
 	// running every request as its own sweep.
@@ -88,18 +98,21 @@ func (s Stats) MeanFusedWidth() float64 {
 
 func (s *stats) snapshot() Stats {
 	out := Stats{
-		Requests:        s.requests.Load(),
-		Sweeps:          s.sweeps.Load(),
-		FusedSweeps:     s.fusedSweeps.Load(),
-		FusedRequests:   s.fusedRequests.Load(),
-		SingleFallbacks: s.singleFallbacks.Load(),
-		Registered:      s.registered.Load(),
-		Compiles:        s.compiles.Load(),
-		CompileHits:     s.compileHits.Load(),
-		MatrixBytes:     s.matrixBytes.Load(),
-		SourceBytes:     s.sourceBytes.Load(),
-		DestBytes:       s.destBytes.Load(),
-		SavedBytes:      s.savedBytes.Load(),
+		Requests:         s.requests.Load(),
+		Sweeps:           s.sweeps.Load(),
+		FusedSweeps:      s.fusedSweeps.Load(),
+		FusedRequests:    s.fusedRequests.Load(),
+		SingleFallbacks:  s.singleFallbacks.Load(),
+		Registered:       s.registered.Load(),
+		Compiles:         s.compiles.Load(),
+		CompileHits:      s.compileHits.Load(),
+		RetuneEvals:      s.retuneEvals.Load(),
+		RetunePromotions: s.retunePromotions.Load(),
+		RetuneRejections: s.retuneRejections.Load(),
+		MatrixBytes:      s.matrixBytes.Load(),
+		SourceBytes:      s.sourceBytes.Load(),
+		DestBytes:        s.destBytes.Load(),
+		SavedBytes:       s.savedBytes.Load(),
 	}
 	for i := range s.widthHist {
 		out.FusedWidthHist[i] = s.widthHist[i].Load()

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workloadSampleSize is the length of the captured-shapes ring: the most
+// recent sweep widths, the sample real candidate encodings are shadow-
+// benchmarked against.
+const workloadSampleSize = 64
+
+// workload observes one matrix's request mix as it is actually served —
+// the signal Williams et al. say the tuner must follow: the best encoding
+// depends on the workload, not just the matrix. The histogram feeds drift
+// detection, the ring feeds the re-tuner's shadow benchmark. Recording is
+// lock-free on the per-request path (one atomic per executed sweep) plus
+// one short-critical-section ring append per sweep.
+type workload struct {
+	requests  atomic.Uint64 // requests observed (sum of sweep widths)
+	sweeps    atomic.Uint64
+	widthHist [MaxTrackedWidth + 1]atomic.Uint64 // sweeps by fused width
+
+	mu     sync.Mutex
+	recent [workloadSampleSize]int // ring of recent sweep widths
+	n, pos int
+}
+
+// record accounts one executed sweep of the given fused width.
+func (w *workload) record(width int) {
+	if width < 1 {
+		width = 1
+	}
+	tracked := width
+	if tracked > MaxTrackedWidth {
+		tracked = MaxTrackedWidth
+	}
+	w.requests.Add(uint64(width))
+	w.sweeps.Add(1)
+	w.widthHist[tracked].Add(1)
+	w.mu.Lock()
+	w.recent[w.pos] = width
+	w.pos = (w.pos + 1) % len(w.recent)
+	if w.n < len(w.recent) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// medianWidth returns the request-weighted median fused width: the width
+// at which the typical request was served (a width-16 sweep carries 16
+// requests, so it weighs 16× a lone sweep). 1 when nothing was observed.
+func (w *workload) medianWidth() int {
+	var total uint64
+	var counts [MaxTrackedWidth + 1]uint64
+	for i := 1; i <= MaxTrackedWidth; i++ {
+		counts[i] = w.widthHist[i].Load() * uint64(i)
+		total += counts[i]
+	}
+	if total == 0 {
+		return 1
+	}
+	var cum uint64
+	for i := 1; i <= MaxTrackedWidth; i++ {
+		cum += counts[i]
+		if 2*cum >= total {
+			return i
+		}
+	}
+	return MaxTrackedWidth
+}
+
+// sample returns a copy of the recent sweep widths, oldest first.
+func (w *workload) sample() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, w.n)
+	start := w.pos - w.n
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.recent[(start+i+len(w.recent))%len(w.recent)])
+	}
+	return out
+}
+
+// widthDrift measures how far the observed request mix has moved from the
+// width the serving operator was tuned for, in [0, 1): 1 - min/max of the
+// two widths. 0 means unchanged; a 2× shift scores 0.5; a 1→16 shift
+// scores 0.9375.
+func widthDrift(tuned, observed int) float64 {
+	if tuned < 1 {
+		tuned = 1
+	}
+	if observed < 1 {
+		observed = 1
+	}
+	lo, hi := tuned, observed
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return 1 - float64(lo)/float64(hi)
+}

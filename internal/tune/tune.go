@@ -67,6 +67,16 @@ type Options struct {
 	// sparse line-budget heuristic. 0 selects sparse cache blocking.
 	FixedColumnSpan int
 
+	// VectorWidth is the fused multi-RHS width the encoding should be
+	// blocked for (a serving layer's observed batch width; see §2.1's
+	// multiple-vectors optimization). Cache and TLB blocking treat every
+	// vector element as VectorWidth interleaved values — 8*VectorWidth
+	// bytes per logical element — so a width-k fused sweep's vector
+	// working set still fits the budget. <= 1 tunes for single-vector
+	// sweeps (the default, and the registration-time guess of the
+	// serving layer before it has observed any traffic).
+	VectorWidth int
+
 	// TrySymmetric additionally considers upper-triangle (SymCSR) storage
 	// for square, numerically symmetric matrices: when the symmetric build
 	// succeeds and its footprint beats the blocked plan, the whole matrix
@@ -248,6 +258,9 @@ func normalize(opt *Options) {
 	if opt.CacheBudgetBytes <= 0 {
 		opt.CacheBudgetBytes = 1 << 20
 	}
+	if opt.VectorWidth < 1 {
+		opt.VectorWidth = 1
+	}
 }
 
 // span is a rectangle of the matrix, rows [r0,r1) × cols [c0,c1).
@@ -261,14 +274,22 @@ func planBlocks(csr *matrix.CSR32, opt Options) ([]span, error) {
 	if !opt.CacheBlock && !opt.TLBBlock {
 		return whole, nil
 	}
-	lineElems := opt.LineBytes / 8
+	// A width-k fused sweep interleaves k values per vector element, so
+	// every blocking quantity is derived from the effective element size
+	// 8*VectorWidth: lines and pages hold proportionally fewer logical
+	// elements and blocks shrink until the fused working set fits.
+	elemBytes := 8 * opt.VectorWidth
+	lineElems := opt.LineBytes / elemBytes
+	if lineElems < 1 {
+		lineElems = 1
+	}
 	budgetLines := int(opt.CacheBudgetBytes / int64(opt.LineBytes))
 	srcLines := int(float64(budgetLines) * opt.SourceShare)
 	dstLines := budgetLines - srcLines
 	if srcLines < 1 || dstLines < 1 {
 		return whole, nil
 	}
-	vectorsFit := int64(csr.R+csr.C)*8 <= opt.CacheBudgetBytes
+	vectorsFit := int64(csr.R+csr.C)*int64(elemBytes) <= opt.CacheBudgetBytes
 	if opt.CacheBlock && vectorsFit && opt.FixedColumnSpan == 0 {
 		return whole, nil
 	}
@@ -316,7 +337,10 @@ func planBlocks(csr *matrix.CSR32, opt Options) ([]span, error) {
 		// distinct source pages per block.
 		pageSpans := []partition.ColumnSpan{{Lo: 0, Hi: csr.C}}
 		if opt.TLBBlock {
-			pageElems := opt.PageBytes / 8
+			pageElems := opt.PageBytes / elemBytes
+			if pageElems < 1 {
+				pageElems = 1
+			}
 			// Reserve a few entries for the matrix streams and destination.
 			budget := opt.TLBEntries - 4
 			if budget < 1 {

@@ -1,0 +1,129 @@
+// covergate enforces per-package statement-coverage floors on a Go cover
+// profile — the coverage analogue of scripts/benchgate. CI runs
+//
+//	go test -short -coverprofile=cover.out ./...
+//	go run ./scripts/covergate -profile cover.out \
+//	    -floor repro/internal/server=75 -floor repro/internal/tune=75
+//
+// and fails the build when a gated package's statement coverage falls
+// below its floor. Ungated packages are reported but never fail.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floors collects repeated -floor package=percent flags.
+type floors map[string]float64
+
+func (f floors) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floors) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want package=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil || v < 0 || v > 100 {
+		return fmt.Errorf("bad floor %q: want a percentage in [0, 100]", pct)
+	}
+	f[pkg] = v
+	return nil
+}
+
+// profileLine matches one cover-profile block record:
+// name.go:line.col,line.col numStatements hitCount
+var profileLine = regexp.MustCompile(`^(.+)/[^/]+\.go:\d+\.\d+,\d+\.\d+ (\d+) (\d+)$`)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile produced by go test -coverprofile")
+	gates := floors{}
+	flag.Var(gates, "floor", "package=minPercent statement-coverage floor (repeatable)")
+	flag.Parse()
+	if len(gates) == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: no -floor given, nothing to enforce")
+		os.Exit(2)
+	}
+
+	file, err := os.Open(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(2)
+	}
+	defer file.Close()
+
+	type tally struct{ total, covered int64 }
+	perPkg := map[string]*tally{}
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		m := profileLine.FindStringSubmatch(line)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "covergate: unparseable profile line %q\n", line)
+			os.Exit(2)
+		}
+		stmts, _ := strconv.ParseInt(m[2], 10, 64)
+		hits, _ := strconv.ParseInt(m[3], 10, 64)
+		t := perPkg[m[1]]
+		if t == nil {
+			t = &tally{}
+			perPkg[m[1]] = t
+		}
+		t.total += stmts
+		if hits > 0 {
+			t.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(perPkg))
+	for pkg := range perPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	failed := false
+	for _, pkg := range pkgs {
+		t := perPkg[pkg]
+		pct := 100 * float64(t.covered) / float64(t.total)
+		floor, gated := gates[pkg]
+		switch {
+		case gated && pct < floor:
+			fmt.Printf("FAIL %-40s %6.1f%% < floor %.1f%%\n", pkg, pct, floor)
+			failed = true
+		case gated:
+			fmt.Printf("ok   %-40s %6.1f%% >= floor %.1f%%\n", pkg, pct, floor)
+		default:
+			fmt.Printf("     %-40s %6.1f%%\n", pkg, pct)
+		}
+	}
+	for pkg := range gates {
+		if _, ok := perPkg[pkg]; !ok {
+			fmt.Printf("FAIL %-40s absent from profile\n", pkg)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

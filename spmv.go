@@ -189,7 +189,8 @@ type Operator struct {
 
 	multiMu sync.Mutex
 	lazyCSR *matrix.CSR32          // built on first hook use, then shared
-	multi   map[int]*MultiOperator // multi-RHS views, by width
+	multi   map[int]*MultiOperator // CSR-backed multi-RHS views, by width
+	wide    map[int]*MultiOperator // tuned-encoding multi-RHS views, by width
 }
 
 // csrLocked returns (building if needed) the CSR32 backing the multi-RHS
@@ -345,6 +346,65 @@ func (o *Operator) Multi(width int) (*MultiOperator, error) {
 	return mo, nil
 }
 
+// WideMulti returns a width-k multi-RHS view that streams the operator's
+// tuned encoding itself — register blocks, cache blocks, reduced indices
+// and all — instead of the plain CSR fallback Multi's views stream. It
+// combines the paper's two biggest bandwidth reductions (data-structure
+// compression, §4.2, and multiple vectors, §2.1) in one sweep: the fused
+// matrix stream shrinks by the tuner's footprint saving.
+//
+// Bits: each lane of a wide view accumulates in the encoding's own order,
+// so lane results match the operator's single-vector MulAdd (per tuned
+// block), not necessarily Multi's CSR bits. Wide views over plain CSR
+// encodings (any index width, serial or row-partitioned) reproduce
+// Multi's bits exactly — the property the serving layer's re-tuner relies
+// on to promote a compacted encoding without changing responses. Views
+// are cached per width and safe for concurrent use.
+func (o *Operator) WideMulti(width int) (*MultiOperator, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("spmv: need at least 1 vector, got %d", width)
+	}
+	o.multiMu.Lock()
+	defer o.multiMu.Unlock()
+	if mo, ok := o.wide[width]; ok {
+		return mo, nil
+	}
+	var mo *MultiOperator
+	if o.sym != nil {
+		mo = &MultiOperator{sym: o.sym, nv: width, rows: o.rows, cols: o.cols}
+	} else if p, ok := o.k.(*kernel.Parallel); ok {
+		wp, err := kernel.NewWideParallel(p, width)
+		if err != nil {
+			return nil, err
+		}
+		mo = &MultiOperator{w: wp, nv: width, rows: o.rows, cols: o.cols}
+	} else {
+		wk, err := kernel.NewWide(o.k.Format(), width)
+		if err != nil {
+			return nil, err
+		}
+		mo = &MultiOperator{w: wk, nv: width, rows: o.rows, cols: o.cols}
+	}
+	if o.wide == nil {
+		o.wide = make(map[int]*MultiOperator)
+	}
+	o.wide[width] = mo
+	return mo, nil
+}
+
+// Retune re-runs the tuner on the operator's retained source matrix with
+// new options, returning a fresh operator with the same thread count. The
+// receiver is untouched (operators are immutable); callers swap the new
+// operator in when they like what they got — the online re-tuning hook the
+// serving layer builds on when the observed workload drifts from what the
+// operator was tuned for.
+func (o *Operator) Retune(opt TuneOptions) (*Operator, error) {
+	if o.src == nil {
+		return nil, fmt.Errorf("spmv: operator retains no source matrix to re-tune")
+	}
+	return compile(&Matrix{coo: o.src}, opt, o.threads, 1)
+}
+
 // Symmetric reports whether the operator is backed by upper-triangle
 // (SymCSR) storage.
 func (o *Operator) Symmetric() bool { return o.sym != nil }
@@ -401,6 +461,54 @@ func (o *Operator) Traffic(opt TrafficOptions) (TrafficSummary, error) {
 		return traffic.Analyze(csr, opt)
 	}
 	return s, err
+}
+
+// MultiTraffic models the DRAM traffic of one sweep through Multi's
+// CSR-backed fused views — the retained CSR stream, whatever the tuner
+// chose for the single-vector kernel. A serving layer that fuses requests
+// over the CSR fallback accounts its sweeps with this, not with the tuned
+// encoding Traffic reports for serial operators.
+func (o *Operator) MultiTraffic(opt TrafficOptions) (TrafficSummary, error) {
+	o.multiMu.Lock()
+	csr, err := o.csrLocked()
+	o.multiMu.Unlock()
+	if err != nil {
+		return TrafficSummary{}, err
+	}
+	return traffic.Analyze(csr, opt)
+}
+
+// WideTraffic models the DRAM traffic of one fused sweep through the
+// tuned wide views (WideMulti): the tuned encodings themselves stream —
+// summed across the thread parts of a parallel operator — rather than the
+// retained-CSR fallback Traffic reports for parallel composites. It is the
+// single-RHS basis; scale with TrafficSummary.MultiRHS or score a request
+// mix with BlendedPerRequest.
+func (o *Operator) WideTraffic(opt TrafficOptions) (TrafficSummary, error) {
+	if p, ok := o.k.(*kernel.Parallel); ok && o.sym == nil {
+		var total traffic.Summary
+		for _, part := range p.Parts() {
+			s, err := traffic.Analyze(part.Enc, opt)
+			if err != nil {
+				return TrafficSummary{}, err
+			}
+			total.Add(s)
+		}
+		// The parts of one fused sweep share the broadcast source block, so
+		// x's compulsory traffic is the whole-matrix gather, not the
+		// per-part sum (which would charge the shared columns once per
+		// part). The retained CSR gives the union of touched columns.
+		o.multiMu.Lock()
+		csr, err := o.csrLocked()
+		o.multiMu.Unlock()
+		if err == nil {
+			if whole, werr := traffic.Analyze(csr, opt); werr == nil {
+				total.SourceBytes = whole.SourceBytes
+			}
+		}
+		return total, nil
+	}
+	return traffic.Analyze(o.k.Format(), opt)
 }
 
 // CompileSymmetric compiles a numerically symmetric matrix into a serial
@@ -494,6 +602,7 @@ func Symmetrize(m *Matrix) (*Matrix, error) {
 type MultiOperator struct {
 	mv         *kernel.MultiVec // CSR-backed views
 	sym        *kernel.SymSweep // symmetric-operator views
+	w          kernel.Wide      // tuned-encoding views (WideMulti)
 	nv         int
 	rows, cols int
 }
@@ -540,6 +649,9 @@ func (o *MultiOperator) MulAddBlock(yBlock, xBlock []float64) error {
 	if o.sym != nil {
 		return o.sym.MulAddWidth(yBlock, xBlock, o.nv)
 	}
+	if o.w != nil {
+		return o.w.MulAddBlock(yBlock, xBlock)
+	}
 	return o.mv.MulAdd(yBlock, xBlock)
 }
 
@@ -551,6 +663,16 @@ func (o *MultiOperator) MulAddBlock(yBlock, xBlock []float64) error {
 func (o *MultiOperator) MulAddBlockExec(yBlock, xBlock []float64, run func(tasks []func())) error {
 	if o.sym != nil {
 		return o.sym.MulAddWidthExec(yBlock, xBlock, o.nv, kernel.Exec(run))
+	}
+	if o.w != nil {
+		if wp, ok := o.w.(*kernel.WideParallel); ok {
+			return wp.MulAddBlockExec(yBlock, xBlock, kernel.Exec(run))
+		}
+		// Serial wide kernels have one internal task: the sweep itself.
+		// Routing it through run keeps it under the executor's bounds.
+		var err error
+		run([]func(){func() { err = o.w.MulAddBlock(yBlock, xBlock) }})
+		return err
 	}
 	return o.mv.MulAdd(yBlock, xBlock)
 }
@@ -565,6 +687,9 @@ func (o *MultiOperator) MulAddBlockExec(yBlock, xBlock []float64, run func(tasks
 func (o *MultiOperator) MulAddRows(yBlock, xBlock []float64, lo, hi int) error {
 	if o.sym != nil {
 		return fmt.Errorf("spmv: symmetric multi-RHS sweeps cannot be row-sharded externally; use MulAddBlock")
+	}
+	if o.w != nil {
+		return fmt.Errorf("spmv: tuned wide sweeps parallelize internally and cannot be row-sharded externally; use MulAddBlock")
 	}
 	return o.mv.MulAddRows(yBlock, xBlock, lo, hi)
 }
