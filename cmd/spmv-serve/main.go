@@ -21,6 +21,10 @@
 //	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
 //	GET  /v1/matrices/{id}/tuning online re-tuner state (generation, drift, decisions)
+//	POST /v1/matrices/{id}/solve {"method":"cg","b":[...],"tol":1e-8,"max_iters":500} -> session
+//	GET  /v1/solve             list resident solver sessions
+//	GET  /v1/solve/{sid}       session state + residual history (?wait=2s blocks until done)
+//	DELETE /v1/solve/{sid}     cancel and remove a session
 //	GET  /v1/stats             JSON counters (+ cluster rollup)
 //	GET  /v1/cluster           shard topology
 //	GET  /metrics              Prometheus-style counters
@@ -51,6 +55,7 @@ func main() {
 	autoSymmetric := flag.Bool("auto-symmetric", true, "serve numerically symmetric matrices from upper-triangle storage (half the matrix stream); per-request \"symmetric\" overrides")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap, 413 beyond it (0 = 256 MiB); raise on members sharding very large matrices")
 	maxSweeps := flag.Int("max-concurrent-sweeps", 0, "concurrent sweep limit (0 = workers)")
+	maxSessions := flag.Int("max-sessions", 0, "resident solver-session cap, 429 beyond it (0 = 16)")
 	retuneInterval := flag.Duration("retune-interval", 30*time.Second, "online re-tune scan interval; 0 disables workload-aware re-tuning")
 	retuneDrift := flag.Float64("retune-drift", server.DefaultRetuneDrift, "fused-width drift (1 - min/max) that triggers a re-tune evaluation")
 	members := flag.Int("members", 0, "in-process shard member nodes (forms a cluster; for demos and smoke tests)")
@@ -72,6 +77,7 @@ func main() {
 	cfg.AutoSymmetric = *autoSymmetric
 	cfg.MaxBodyBytes = *maxBodyBytes
 	cfg.MaxConcurrentSweeps = *maxSweeps
+	cfg.MaxSessions = *maxSessions
 	cfg.RetuneInterval = *retuneInterval
 	cfg.RetuneDrift = *retuneDrift
 	s := server.New(cfg)

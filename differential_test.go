@@ -29,6 +29,7 @@ import (
 	spmv "repro"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/solve"
 )
 
 // diffWidths are the fused multi-RHS widths the harness checks.
@@ -514,4 +515,108 @@ func TestDifferentialSymmetric(t *testing.T) {
 		}
 	}
 	_ = rows
+}
+
+// ---- BLAS-1 differential section ------------------------------------
+//
+// The solver layer (internal/solve) builds CG and power iteration on
+// fused BLAS-1 helpers with two reduction modes. Their contracts mirror
+// the kernel table above:
+//
+//   - bitwise in deterministic (ordered-reduction) mode against an
+//     independent re-implementation of the canonical summation tree —
+//     fixed 1024-element blocks, partials combined in ascending block
+//     order — at every thread count;
+//   - ULP-bounded in parallel mode against the plain sequential sum
+//     (per-thread chunking reassociates the reduction);
+//   - element-wise operations (Axpy, Xpay, Scale) bitwise against naive
+//     loops at every thread count and in both modes.
+
+// refOrderedDot is the independent reference for the deterministic
+// reduction contract. The 1024-element block length is part of the
+// published contract (solve.BLAS documentation), re-stated here rather
+// than imported so a regression in either side trips the test.
+func refOrderedDot(x, y []float64) float64 {
+	const block = 1024
+	var total float64
+	for lo := 0; lo < len(x); lo += block {
+		hi := min(lo+block, len(x))
+		var partial float64
+		for i := lo; i < hi; i++ {
+			partial += x[i] * y[i]
+		}
+		total += partial
+	}
+	return total
+}
+
+var blasThreads = []int{1, 2, 3, 4, 8}
+
+func TestDifferentialBLAS1(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{0, 1, 5, 1023, 1024, 1025, 4096, 65537} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+				y[i] = rng.NormFloat64()
+			}
+			ordered := refOrderedDot(x, y)
+			var seq, absSum float64
+			for i := range x {
+				seq += x[i] * y[i]
+				absSum += math.Abs(x[i] * y[i])
+			}
+			const eps = 2.220446049250313e-16
+			bound := 4 * float64(n+4) * eps * absSum
+			for _, threads := range blasThreads {
+				det := solve.BLAS{Threads: threads, Deterministic: true}
+				if got := det.Dot(x, y); math.Float64bits(got) != math.Float64bits(ordered) {
+					t.Fatalf("threads=%d: deterministic Dot %x, reference %x",
+						threads, math.Float64bits(got), math.Float64bits(ordered))
+				}
+				wantNorm := math.Sqrt(refOrderedDot(x, x))
+				if got := det.Norm2(x); math.Float64bits(got) != math.Float64bits(wantNorm) {
+					t.Fatalf("threads=%d: deterministic Norm2 %x, reference %x",
+						threads, math.Float64bits(got), math.Float64bits(wantNorm))
+				}
+				par := solve.BLAS{Threads: threads}
+				if got := par.Dot(x, y); math.Abs(got-seq) > bound {
+					t.Fatalf("threads=%d: parallel Dot %g vs sequential %g (bound %g)", threads, got, seq, bound)
+				}
+				if got := par.Norm2(x); n > 0 && math.Abs(got*got-par.Dot(x, x)) > bound {
+					t.Fatalf("threads=%d: parallel Norm2 inconsistent with Dot", threads)
+				}
+
+				// Element-wise ops: bitwise against naive loops in both modes.
+				const alpha = 1.5625e-2 // exact in binary
+				for _, mode := range []solve.BLAS{det, par} {
+					naive := append([]float64(nil), y...)
+					for i := range naive {
+						naive[i] += alpha * x[i]
+					}
+					got := append([]float64(nil), y...)
+					mode.Axpy(alpha, x, got)
+					checkBitwise(t, fmt.Sprintf("Axpy/threads=%d/det=%v", threads, mode.Deterministic), got, naive)
+
+					naive = append(naive[:0:0], y...)
+					for i := range naive {
+						naive[i] = x[i] + alpha*naive[i]
+					}
+					got = append(got[:0:0], y...)
+					mode.Xpay(alpha, x, got)
+					checkBitwise(t, fmt.Sprintf("Xpay/threads=%d/det=%v", threads, mode.Deterministic), got, naive)
+
+					naive = append(naive[:0:0], y...)
+					for i := range naive {
+						naive[i] *= alpha
+					}
+					got = append(got[:0:0], y...)
+					mode.Scale(alpha, got)
+					checkBitwise(t, fmt.Sprintf("Scale/threads=%d/det=%v", threads, mode.Deterministic), got, naive)
+				}
+			}
+		})
+	}
 }

@@ -138,3 +138,41 @@ func (m *SymCSR) ToCOO() *COO {
 	}
 	return out
 }
+
+// IsNumericallySymmetric reports whether the matrix equals its transpose
+// exactly — entry for entry, bit for bit, after the same canonicalization
+// (stable sort, duplicates summed in insertion order) compile time
+// applies. It is the admission check for workloads that require symmetry
+// semantically rather than as a storage choice: Conjugate Gradient is
+// only defined on symmetric operators, whatever format ends up serving
+// them. O(nnz log nnz), no symmetric storage is built.
+func IsNumericallySymmetric(m *COO) bool {
+	if m.R != m.C {
+		return false
+	}
+	a, err := NewCSR[uint32](m)
+	if err != nil {
+		return false
+	}
+	// The transposed view reuses the entry slices with rows and columns
+	// swapped; canonicalization sums duplicates in the same insertion
+	// order on both sides, so equal matrices produce identical floats.
+	t, err := NewCSR[uint32](&COO{R: m.C, C: m.R, RowIdx: m.ColIdx, ColIdx: m.RowIdx, Val: m.Val})
+	if err != nil {
+		return false
+	}
+	if len(a.Col) != len(t.Col) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Col {
+		if a.Col[k] != t.Col[k] || a.Val[k] != t.Val[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -19,4 +19,10 @@ var (
 	// an otherwise valid request — the fleet's fault, not the client's
 	// (502).
 	ErrMemberFault = errors.New("server: member fault")
+	// ErrUnknownSession: the requested solver-session id is not resident
+	// (404).
+	ErrUnknownSession = errors.New("server: unknown solve session")
+	// ErrTooManySessions: the resident-session cap is reached and every
+	// session is still running (429).
+	ErrTooManySessions = errors.New("server: too many solve sessions")
 )

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	spmv "repro"
 )
 
 // FuzzRegisterJSON exercises the POST /v1/matrices payload path — every
@@ -106,4 +108,105 @@ func TestRegisterFuzzSeedsStatuses(t *testing.T) {
 			t.Errorf("body %q: status %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
 		}
 	}
+}
+
+// FuzzSolveJSON exercises the POST /v1/matrices/{id}/solve payload path —
+// method selection, tolerance/budget validation, vector shape checks —
+// against arbitrary bodies: the handler must never panic, must answer 201
+// or a 4xx with a well-formed JSON object, must never leave more resident
+// sessions than the cap, and the server must close cleanly afterwards
+// (sessions drain, no goroutine leak under the race detector).
+func FuzzSolveJSON(f *testing.F) {
+	// Well-formed requests, both methods.
+	f.Add(`{"method":"cg","b":[1,2,3,4],"tol":1e-8,"max_iters":50}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"x0":[0,0,0,0]}`)
+	f.Add(`{"method":"power","tol":1e-6,"max_iters":100}`)
+	f.Add(`{"method":"power","x0":[1,0,0,0]}`)
+	// Malformed tolerances and budgets.
+	f.Add(`{"method":"cg","b":[1,2,3,4],"tol":-1}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"tol":NaN}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"tol":1e999}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"max_iters":-7}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"max_iters":100001}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"max_iters":9223372036854775808}`)
+	// NaN-ish and shape-broken vectors (JSON cannot spell NaN; these probe
+	// the decoder's rejections and the length checks).
+	f.Add(`{"method":"cg","b":[null,2,3,4]}`)
+	f.Add(`{"method":"cg","b":["a",2,3,4]}`)
+	f.Add(`{"method":"cg","b":[1,2]}`)
+	f.Add(`{"method":"cg"}`)
+	f.Add(`{"method":"cg","b":[1,2,3,4],"x0":[1]}`)
+	// Method confusion and junk.
+	f.Add(`{"method":"power","b":[1,2,3,4]}`)
+	f.Add(`{"method":"jacobi","b":[1,2,3,4]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`"cg"`)
+	f.Add(`{"method":"cg","b":[1,2,3,4]`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cfg := DefaultConfig()
+		cfg.Threads = 1
+		cfg.Workers = 1
+		cfg.MaxBatch = 1
+		cfg.MaxSessions = 2
+		cfg.MaxBodyBytes = 1 << 16
+		s := New(cfg)
+		defer s.Close()
+		m := spmv.NewMatrix(4, 4)
+		for i := 0; i < 4; i++ {
+			_ = m.Set(i, i, 2)
+			if i > 0 {
+				_ = m.Set(i, i-1, -1)
+				_ = m.Set(i-1, i, -1)
+			}
+		}
+		if _, err := s.Register("a", "tiny", m); err != nil {
+			t.Fatal(err)
+		}
+		h := s.Handler()
+
+		req := httptest.NewRequest("POST", "/v1/matrices/a/solve", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if code := rec.Code; code != 201 && (code < 400 || code > 599) {
+			t.Fatalf("status %d for body %q, want 201 or an error status", code, body)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("non-JSON response %q for body %q", rec.Body.String(), body)
+		}
+		if rec.Code == 201 {
+			sid, _ := decoded["sid"].(string)
+			if sid == "" {
+				t.Fatalf("201 without sid: %q", rec.Body.String())
+			}
+			// The created session must be observable and cancellable.
+			rec2 := httptest.NewRecorder()
+			h.ServeHTTP(rec2, httptest.NewRequest("GET", "/v1/solve/"+sid, nil))
+			if rec2.Code != 200 {
+				t.Fatalf("GET created session: %d", rec2.Code)
+			}
+			rec3 := httptest.NewRecorder()
+			h.ServeHTTP(rec3, httptest.NewRequest("DELETE", "/v1/solve/"+sid, nil))
+			if rec3.Code != 200 {
+				t.Fatalf("DELETE created session: %d", rec3.Code)
+			}
+		}
+		if got := len(s.Sessions()); got > cfg.MaxSessions {
+			t.Fatalf("%d resident sessions exceed the cap %d", got, cfg.MaxSessions)
+		}
+		waitEnd := time.Now().Add(5 * time.Second)
+		for _, sess := range s.Sessions() {
+			for sess.State == "running" {
+				if time.Now().After(waitEnd) {
+					t.Fatalf("session %s still running", sess.SID)
+				}
+				var err error
+				if sess, err = s.SolveStatus(sess.SID, 50*time.Millisecond); err != nil {
+					break
+				}
+			}
+		}
+	})
 }

@@ -63,6 +63,10 @@ type errorResponse struct {
 //	GET  /v1/matrices             list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul    compute y = A·x (coalesced with concurrent calls)
 //	GET  /v1/matrices/{id}/tuning online re-tuner state: generation, drift, decision log
+//	POST /v1/matrices/{id}/solve  start a server-resident solver session (cg | power)
+//	GET  /v1/solve                list resident solver sessions
+//	GET  /v1/solve/{sid}          session state + residual history (?wait=dur blocks until done)
+//	DELETE /v1/solve/{sid}        cancel and remove a session
 //	GET  /v1/stats                JSON counter snapshot (+ cluster rollup when attached)
 //	GET  /v1/cluster              shard topology: members and sharded matrices
 //	GET  /metrics                 Prometheus-style counters
@@ -72,6 +76,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
 	mux.HandleFunc("GET /v1/matrices/{id}/tuning", s.handleTuning)
+	mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolveCreate)
+	mux.HandleFunc("GET /v1/solve", s.handleSolveList)
+	mux.HandleFunc("GET /v1/solve/{sid}", s.handleSolveGet)
+	mux.HandleFunc("DELETE /v1/solve/{sid}", s.handleSolveDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -323,6 +331,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("spmv_serve_retune_evals_total", "counter", "Drifted matrices shadow-benchmarked by the re-tuner.", st.RetuneEvals)
 	put("spmv_serve_retune_promotions_total", "counter", "Re-tuned operators promoted to serving.", st.RetunePromotions)
 	put("spmv_serve_retune_rejections_total", "counter", "Re-tune candidates rejected by the shadow benchmark.", st.RetuneRejections)
+	put("spmv_serve_solve_sessions_total", "counter", "Solver sessions created.", st.SolveSessions)
+	put("spmv_serve_solve_iters_total", "counter", "Solver iterations executed (each one width-1 sweep).", st.SolveIters)
+	s.sessMu.Lock()
+	resident := len(s.sessions)
+	s.sessMu.Unlock()
+	put("spmv_serve_solve_sessions_resident", "gauge", "Solver sessions resident (running or uncollected).", resident)
 	put("spmv_serve_matrix_bytes_total", "counter", "Modeled matrix-stream DRAM bytes moved.", st.MatrixBytes)
 	put("spmv_serve_source_bytes_total", "counter", "Modeled source-vector DRAM bytes moved.", st.SourceBytes)
 	put("spmv_serve_dest_bytes_total", "counter", "Modeled destination-vector DRAM bytes moved.", st.DestBytes)

@@ -107,6 +107,13 @@ type Entry struct {
 	// steady-state hot path allocates only the result vectors it hands to
 	// callers.
 	bufs sync.Pool // *blockBuf
+
+	// symCheckOnce/symIs cache the numeric-symmetry answer for solver
+	// admission (see Entry.isSymmetricMatrix): CG requires the matrix to
+	// be symmetric whatever storage family serves it, and the exact
+	// transpose comparison is worth paying once, not per session.
+	symCheckOnce sync.Once
+	symIs        bool
 }
 
 // blockBuf is one fused sweep's interleaved scratch space.

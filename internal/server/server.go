@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	spmv "repro"
@@ -90,6 +91,13 @@ type Config struct {
 	// and the pacing that keeps rejected candidates from being recompiled
 	// every scan. <= 0 means the default of 64.
 	RetuneMinRequests int
+
+	// MaxSessions caps resident solver sessions (running or finished but
+	// not yet collected). At the cap, creating a session first evicts the
+	// oldest finished one; when every resident session is still running
+	// the creation is rejected with ErrTooManySessions (429). <= 0 means
+	// DefaultMaxSessions.
+	MaxSessions int
 }
 
 // DefaultRetuneDrift and DefaultRetuneMinRequests back the zero values of
@@ -138,6 +146,16 @@ type Server struct {
 	// lifetime (nil when RetuneInterval <= 0).
 	retuneStop chan struct{}
 	retuneDone chan struct{}
+
+	// Solver sessions (see solve.go): server-resident CG / power-iteration
+	// state, keyed by session id. sessWG tracks the session goroutines so
+	// Close can drain them before stopping the pool.
+	sessMu        sync.Mutex
+	sessions      map[string]*solveSession
+	sessSeq       int
+	closed        bool
+	sessWG        sync.WaitGroup
+	sessFinishSeq atomic.Uint64
 }
 
 // New starts a server. Call Close to stop its workers.
@@ -163,7 +181,14 @@ func New(cfg Config) *Server {
 	if cfg.RetuneMinRequests <= 0 {
 		cfg.RetuneMinRequests = DefaultRetuneMinRequests
 	}
-	s := &Server{cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps), batchers: make(map[string]*batcher)}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	s := &Server{
+		cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps),
+		batchers: make(map[string]*batcher),
+		sessions: make(map[string]*solveSession),
+	}
 	s.reg = NewRegistry(&s.st)
 	if cfg.RetuneInterval > 0 {
 		s.retuneStop = make(chan struct{})
@@ -173,14 +198,23 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the re-tune scanner and the worker pool. In-flight requests
-// must have drained.
+// Close stops the re-tune scanner, cancels and drains solver sessions,
+// and stops the worker pool. In-flight requests must have drained.
 func (s *Server) Close() {
 	if s.retuneStop != nil {
 		close(s.retuneStop)
 		<-s.retuneDone
 		s.retuneStop = nil
 	}
+	// Refuse new sessions, cancel the running ones, and wait for their
+	// goroutines — they schedule sweeps, so the pool must outlive them.
+	s.sessMu.Lock()
+	s.closed = true
+	for _, sess := range s.sessions {
+		sess.requestCancel()
+	}
+	s.sessMu.Unlock()
+	s.sessWG.Wait()
 	s.pool.Close()
 }
 
@@ -446,13 +480,7 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 		return
 	}
 
-	var mo *spmv.MultiOperator
-	var err error
-	if sv.wide {
-		mo, err = sv.op.WideMulti(width)
-	} else {
-		mo, err = sv.op.Multi(width)
-	}
+	mo, err := fusedView(sv, width)
 	if err != nil {
 		fail(err)
 		return
@@ -478,14 +506,49 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 	yBlock := buf.y[:e.rows*width]
 	clear(yBlock)
 
+	if err := s.runFused(sv, mo, yBlock, xBlock); err != nil {
+		fail(err)
+		return
+	}
+	s.recordSweep(e, sv, width, false)
+	// Deinterleave with one sequential pass over the block.
+	ys := make([][]float64, width)
+	for v := range ys {
+		ys[v] = make([]float64, e.rows)
+	}
+	for j := 0; j < e.rows; j++ {
+		base := j * width
+		for v := range ys {
+			ys[v][j] = yBlock[base+v]
+		}
+	}
+	for v, p := range reqs {
+		p.ch <- mulResult{y: ys[v]}
+	}
+}
+
+// fusedView returns the snapshot's width-k multi-RHS view: the tuned wide
+// kernels for promoted snapshots, the CSR (or symmetric) fallback
+// otherwise. Views are cached inside the operator, so this is cheap after
+// first use.
+func fusedView(sv *serving, width int) (*spmv.MultiOperator, error) {
+	if sv.wide {
+		return sv.op.WideMulti(width)
+	}
+	return sv.op.Multi(width)
+}
+
+// runFused executes one fused sweep of the view over interleaved blocks
+// through the worker pool: symmetric and tuned wide sweeps schedule their
+// internal task sets (the symmetric scatter escapes any row range; wide
+// kernels carry their own part decomposition), everything else fans out
+// over the snapshot's precomputed row shards. Both the batcher's fused
+// path and the solver sessions' per-iteration sweeps run through here, so
+// they share the same concurrency bounds and the same bits.
+func (s *Server) runFused(sv *serving, mo *spmv.MultiOperator, yBlock, xBlock []float64) error {
 	var errMu sync.Mutex
 	var sweepErr error
 	if sv.sym || sv.wide {
-		// Symmetric and tuned wide sweeps cannot be row-sharded externally
-		// (the symmetric scatter escapes any row range; wide kernels carry
-		// their own part decomposition); instead their internal task sets
-		// go to the pool, so this work respects the same worker and
-		// sweep-concurrency bounds as general row shards.
 		if err := mo.MulAddBlockExec(yBlock, xBlock, s.pool.RunSweep); err != nil {
 			errMu.Lock()
 			sweepErr = err
@@ -505,25 +568,7 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 		}
 		s.pool.RunSweep(shards)
 	}
-	if sweepErr != nil {
-		fail(sweepErr)
-		return
-	}
-	s.recordSweep(e, sv, width, false)
-	// Deinterleave with one sequential pass over the block.
-	ys := make([][]float64, width)
-	for v := range ys {
-		ys[v] = make([]float64, e.rows)
-	}
-	for j := 0; j < e.rows; j++ {
-		base := j * width
-		for v := range ys {
-			ys[v][j] = yBlock[base+v]
-		}
-	}
-	for v, p := range reqs {
-		p.ch <- mulResult{y: ys[v]}
-	}
+	return sweepErr
 }
 
 // Client is the in-process API of the serving subsystem — the same

@@ -1,0 +1,593 @@
+// Server-resident iterative solver sessions. The paper motivates SpMV
+// tuning by the iterative methods that call it thousands of times; a
+// serving layer that only answers one-shot Muls forces such a solver to
+// round-trip every vector over the wire once per iteration. A solver
+// session keeps the hot per-client state — x, r, p, Ap for CG; q, Aq for
+// power iteration — resident server-side (the KV-cache-residency idiom of
+// LLM inference servers, applied to linear algebra): the client ships b
+// once, the solver iterates through the same worker pool and
+// snapshot-swapped serving path as Mul traffic, and the client polls a
+// compact residual history.
+//
+// Determinism contract: session sweeps take the width-1 fused path of the
+// entry's current serving snapshot — never the non-deterministic lone
+// fast path — and the solver's reductions run in deterministic
+// ordered-block mode whenever the server is configured Deterministic. In
+// that mode a mid-solve re-tune promotion cannot change trajectory bits:
+// deterministic promotions are restricted to the CSR family, whose wide
+// kernels reproduce the default path's bits at every width (the same
+// guarantee Mul responses rely on), and the ordered reductions are
+// invariant to thread count. The solver session state machine is
+//
+//	running ──▶ converged | budget_exhausted | failed
+//	   │
+//	   └─────▶ cancelled            (DELETE, or server Close)
+//
+// with exactly one transition out of running, taken by whichever of the
+// session goroutine and a canceller gets there first.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/solve"
+	"repro/internal/traffic"
+)
+
+// Session-sizing defaults: DefaultMaxSessions caps resident sessions when
+// Config.MaxSessions is unset; DefaultSolveIters is the step budget of a
+// request that names none; MaxSolveIters is the hard per-request budget
+// cap (bounding the memory a hostile residual history can pin).
+const (
+	DefaultMaxSessions = 16
+	DefaultSolveIters  = 500
+	MaxSolveIters      = 100000
+)
+
+// SolveRequest is the body of POST /v1/matrices/{id}/solve.
+type SolveRequest struct {
+	// Method selects the solver: "cg" (Conjugate Gradient, symmetric
+	// matrices only) or "power" (power iteration, any square matrix).
+	Method string `json:"method"`
+	// B is the right-hand side of a CG solve; required for cg, rejected
+	// for power.
+	B []float64 `json:"b,omitempty"`
+	// X0 is the optional initial guess (cg) or start vector (power).
+	X0 []float64 `json:"x0,omitempty"`
+	// Tol is the relative-residual convergence target; 0 runs to the step
+	// budget, negative or non-finite values are rejected.
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIters is the step budget; 0 means DefaultSolveIters, negative or
+	// > MaxSolveIters values are rejected.
+	MaxIters int `json:"max_iters,omitempty"`
+}
+
+// SolveStatus is one solver session's observable state: GET
+// /v1/solve/{sid}, and the creation/cancellation responses.
+type SolveStatus struct {
+	SID      string `json:"sid"`
+	MatrixID string `json:"matrix_id"`
+	Method   string `json:"method"`
+	// State is the session lifecycle: running, converged,
+	// budget_exhausted, cancelled, or failed.
+	State string `json:"state"`
+	// Deterministic records the mode the session iterates under: ordered
+	// reductions and the bit-stable CSR family path.
+	Deterministic bool    `json:"deterministic"`
+	Iters         int     `json:"iters"`
+	MaxIters      int     `json:"max_iters"`
+	Tol           float64 `json:"tol"`
+	// Residual is the latest relative residual (‖b−Ax‖/‖b‖ for cg, the
+	// relative eigen-residual for power).
+	Residual float64 `json:"residual"`
+	// Eigenvalue is power iteration's latest Rayleigh-quotient estimate.
+	Eigenvalue float64 `json:"eigenvalue,omitempty"`
+	// History is the per-iteration relative residual trajectory.
+	History []float64 `json:"history,omitempty"`
+	// X is the solution (cg) or unit eigenvector estimate (power),
+	// included once the session leaves running.
+	X     []float64 `json:"x,omitempty"`
+	Error string    `json:"error,omitempty"`
+	// ServingGenerationFirst/Last are the entry's re-tune generations
+	// observed at the session's first and latest sweeps: a gap between
+	// them is a promotion the solve iterated across.
+	ServingGenerationFirst int `json:"serving_generation_first"`
+	ServingGenerationLast  int `json:"serving_generation_last"`
+	// ModeledBytesPerIter is the traffic model's DRAM bytes per solver
+	// iteration (sweep + BLAS-1 tail) at admission time.
+	ModeledBytesPerIter int64 `json:"modeled_bytes_per_iter"`
+}
+
+// solveSession is one resident solver with its goroutine's lifecycle
+// plumbing. All mutable fields are guarded by mu; state leaves "running"
+// exactly once (guarded transitions), whichever of the session goroutine
+// and a canceller moves first.
+type solveSession struct {
+	id           string
+	matrixID     string
+	method       string
+	det          bool
+	tol          float64
+	maxIters     int
+	bytesPerIter int64
+	created      time.Time
+
+	cancelOnce sync.Once
+	cancel     chan struct{} // closed by requestCancel
+	done       chan struct{} // closed when the goroutine exits
+
+	mu                 sync.Mutex
+	state              string
+	iters              int
+	residual           float64
+	lambda             float64
+	history            []float64
+	x                  []float64
+	errMsg             string
+	genFirst, genLast  int
+	finishedAtSequence uint64 // admission counter at finish, for oldest-finished eviction
+}
+
+func (ss *solveSession) requestCancel() {
+	ss.cancelOnce.Do(func() { close(ss.cancel) })
+}
+
+// markCancelled transitions a still-running session to cancelled. The
+// session goroutine observes the closed cancel channel and exits without
+// overwriting the state.
+func (ss *solveSession) markCancelled(seq uint64) {
+	ss.requestCancel()
+	ss.mu.Lock()
+	if ss.state == stateRunning {
+		ss.state = stateCancelled
+		ss.finishedAtSequence = seq
+	}
+	ss.mu.Unlock()
+}
+
+const (
+	stateRunning   = "running"
+	stateCancelled = "cancelled"
+	stateFailed    = "failed"
+)
+
+// snapshot copies the observable state. full includes the residual
+// history and (for finished sessions) the solution vector; the list
+// endpoint omits both.
+func (ss *solveSession) snapshot(full bool) SolveStatus {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st := SolveStatus{
+		SID: ss.id, MatrixID: ss.matrixID, Method: ss.method,
+		State: ss.state, Deterministic: ss.det,
+		Iters: ss.iters, MaxIters: ss.maxIters, Tol: ss.tol,
+		Residual: ss.residual, Eigenvalue: ss.lambda, Error: ss.errMsg,
+		ServingGenerationFirst: ss.genFirst, ServingGenerationLast: ss.genLast,
+		ModeledBytesPerIter: ss.bytesPerIter,
+	}
+	if full {
+		st.History = append([]float64(nil), ss.history...)
+		if ss.state != stateRunning && ss.x != nil {
+			st.X = append([]float64(nil), ss.x...)
+		}
+	}
+	return st
+}
+
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// isSymmetricMatrix caches the numeric-symmetry answer: CG admission
+// requires the matrix itself to be symmetric, whatever storage family the
+// footprint comparison picked to serve it.
+func (e *Entry) isSymmetricMatrix() bool {
+	e.symCheckOnce.Do(func() { e.symIs = e.m.IsSymmetric() })
+	return e.symIs
+}
+
+// Solve validates one solver request against the registered matrix id,
+// admits it under the session cap, and starts the session goroutine. The
+// returned status is the session's state at admission (running, iters 0).
+func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
+	e, err := s.reg.Get(id)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	sv := e.cur.Load()
+	if sv == nil {
+		return SolveStatus{}, fmt.Errorf("server: matrix %q is still compiling", id)
+	}
+	if e.rows != e.cols {
+		return SolveStatus{}, fmt.Errorf("server: solver sessions need a square matrix; %q is %dx%d", id, e.rows, e.cols)
+	}
+	if math.IsNaN(req.Tol) || math.IsInf(req.Tol, 0) || req.Tol < 0 {
+		return SolveStatus{}, fmt.Errorf("server: tolerance %g is not a finite non-negative number", req.Tol)
+	}
+	if req.MaxIters < 0 {
+		return SolveStatus{}, fmt.Errorf("server: negative step budget %d", req.MaxIters)
+	}
+	if req.MaxIters > MaxSolveIters {
+		return SolveStatus{}, fmt.Errorf("server: step budget %d exceeds the %d cap", req.MaxIters, MaxSolveIters)
+	}
+	maxIters := req.MaxIters
+	if maxIters == 0 {
+		maxIters = DefaultSolveIters
+	}
+	if req.X0 != nil && len(req.X0) != e.rows {
+		return SolveStatus{}, fmt.Errorf("server: matrix %q is %dx%d, len(x0)=%d", id, e.rows, e.cols, len(req.X0))
+	}
+	if !finiteVec(req.X0) {
+		return SolveStatus{}, fmt.Errorf("server: x0 contains non-finite values")
+	}
+	sweepBytes := sv.matrixBytes + sv.sourceBytes + sv.destBytes
+	var bytesPerIter int64
+	switch req.Method {
+	case "cg":
+		if len(req.B) != e.rows {
+			return SolveStatus{}, fmt.Errorf("server: matrix %q is %dx%d, len(b)=%d", id, e.rows, e.cols, len(req.B))
+		}
+		if !finiteVec(req.B) {
+			return SolveStatus{}, fmt.Errorf("server: b contains non-finite values")
+		}
+		if !sv.sym && !e.isSymmetricMatrix() {
+			return SolveStatus{}, fmt.Errorf("%w: conjugate gradient needs a symmetric matrix and %q is not", ErrNotSymmetric, id)
+		}
+		bytesPerIter = traffic.CGIterationBytes(sweepBytes, e.rows)
+	case "power":
+		if req.B != nil {
+			return SolveStatus{}, fmt.Errorf("server: power iteration takes x0 (a start vector), not b")
+		}
+		bytesPerIter = traffic.PowerIterationBytes(sweepBytes, e.rows)
+	default:
+		return SolveStatus{}, fmt.Errorf("server: unknown solver method %q (want cg or power)", req.Method)
+	}
+
+	ss := &solveSession{
+		matrixID: e.ID, method: req.Method, det: s.cfg.Deterministic,
+		tol: req.Tol, maxIters: maxIters, bytesPerIter: bytesPerIter,
+		created: time.Now(),
+		cancel:  make(chan struct{}), done: make(chan struct{}),
+		state: stateRunning, genFirst: sv.gen, genLast: sv.gen,
+	}
+	s.sessMu.Lock()
+	if s.closed {
+		s.sessMu.Unlock()
+		return SolveStatus{}, fmt.Errorf("server: shutting down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictFinishedLocked() {
+		s.sessMu.Unlock()
+		return SolveStatus{}, fmt.Errorf("%w: %d resident, all running", ErrTooManySessions, s.cfg.MaxSessions)
+	}
+	s.sessSeq++
+	ss.id = fmt.Sprintf("s%d", s.sessSeq)
+	s.sessions[ss.id] = ss
+	s.sessWG.Add(1)
+	s.sessMu.Unlock()
+	s.st.solveSessions.Add(1)
+	go s.runSolve(e, ss, req, maxIters)
+	return ss.snapshot(true), nil
+}
+
+// evictFinishedLocked removes the oldest finished session to admit a new
+// one, reporting whether there was one. sessMu must be held.
+func (s *Server) evictFinishedLocked() bool {
+	var victim string
+	var victimSeq uint64
+	for id, ss := range s.sessions {
+		ss.mu.Lock()
+		running := ss.state == stateRunning
+		seq := ss.finishedAtSequence
+		ss.mu.Unlock()
+		if running {
+			continue
+		}
+		if victim == "" || seq < victimSeq {
+			victim, victimSeq = id, seq
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	delete(s.sessions, victim)
+	return true
+}
+
+// finishSeq stamps finished sessions with a monotone order for
+// oldest-finished eviction.
+func (s *Server) finishSeq() uint64 { return s.sessFinishSeq.Add(1) }
+
+// runSolve is the session goroutine: it builds the solver over the
+// serving snapshot's width-1 fused path and steps it to a terminal state,
+// publishing progress after every iteration.
+func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters int) {
+	defer s.sessWG.Done()
+	defer close(ss.done)
+
+	// apply is the solver's SpMV: the entry's current snapshot, width-1
+	// fused view, sharded through the pool — exactly what a width-1
+	// deterministic Mul runs, so solver bits match serving bits and a
+	// concurrent promotion swaps in mid-solve without (in deterministic
+	// mode) moving them.
+	apply := func(y, x []float64) error {
+		sv := e.cur.Load()
+		mo, err := fusedView(sv, 1)
+		if err != nil {
+			return err
+		}
+		clear(y)
+		if err := s.runFused(sv, mo, y, x); err != nil {
+			return err
+		}
+		s.recordSweep(e, sv, 1, false)
+		ss.mu.Lock()
+		ss.genLast = sv.gen
+		ss.mu.Unlock()
+		return nil
+	}
+	opt := solve.Options{
+		Tol: ss.tol, MaxIters: maxIters,
+		Threads: s.cfg.Threads, Deterministic: s.cfg.Deterministic,
+	}
+
+	type stepper interface {
+		Step() (bool, error)
+		Status() solve.Status
+		History() []float64
+		Residual() float64
+		X() []float64
+	}
+	var solver stepper
+	switch ss.method {
+	case "cg":
+		cg, err := solve.NewCG(apply, req.B, req.X0, opt)
+		if err != nil {
+			ss.finish(s, stateFailed, err.Error(), nil, 0, nil)
+			return
+		}
+		solver = cg
+	default: // validated to "power" at admission
+		pw, err := solve.NewPower(apply, e.rows, req.X0, opt)
+		if err != nil {
+			ss.finish(s, stateFailed, err.Error(), nil, 0, nil)
+			return
+		}
+		solver = powerStepper{pw}
+	}
+
+	for solver.Status() == solve.Running {
+		select {
+		case <-ss.cancel:
+			ss.finish(s, stateCancelled, "", solver.History(), solver.Residual(), solver.X())
+			return
+		default:
+		}
+		done, err := solver.Step()
+		s.st.solveIters.Add(1)
+		ss.publish(solver)
+		if done {
+			state := solver.Status().String()
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			ss.finish(s, state, msg, solver.History(), solver.Residual(), solver.X())
+			return
+		}
+	}
+	// Admission-time convergence (zero b, or x0 already below tol).
+	ss.finish(s, solver.Status().String(), "", solver.History(), solver.Residual(), solver.X())
+}
+
+// powerStepper adapts Power to the session's stepper shape (its iterate
+// accessor is Vector; X returns the eigenvector estimate, and the
+// session's lambda is published alongside).
+type powerStepper struct{ *solve.Power }
+
+func (p powerStepper) X() []float64 { return p.Vector() }
+
+// appendFinite extends dst with src's new entries, stopping at the first
+// non-finite value: a diverging solver fails immediately after recording
+// one Inf/NaN residual, and JSON cannot carry it — the failure stays
+// observable through the state and error fields, which encoding/json
+// would otherwise reject wholesale (an empty 200 response).
+func appendFinite(dst, src []float64) []float64 {
+	for _, v := range src[min(len(dst), len(src)):] {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			break
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// publish copies the solver's progress into the session under mu. Only
+// finite values cross: everything here ends up in JSON responses.
+func (ss *solveSession) publish(solver interface {
+	History() []float64
+	Residual() float64
+}) {
+	h := solver.History()
+	r := solver.Residual()
+	ss.mu.Lock()
+	ss.history = appendFinite(ss.history, h)
+	ss.iters = len(ss.history)
+	if !math.IsNaN(r) && !math.IsInf(r, 0) {
+		ss.residual = r
+	}
+	if p, ok := solver.(powerStepper); ok {
+		if l := p.Eigenvalue(); !math.IsNaN(l) && !math.IsInf(l, 0) {
+			ss.lambda = l
+		}
+	}
+	ss.mu.Unlock()
+}
+
+// finish moves the session to a terminal state (unless a canceller beat
+// it there) and freezes the result vector.
+func (ss *solveSession) finish(s *Server, state, errMsg string, history []float64, residual float64, x []float64) {
+	seq := s.finishSeq()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.history = appendFinite(ss.history, history)
+	ss.iters = len(ss.history)
+	if !math.IsNaN(residual) && !math.IsInf(residual, 0) {
+		ss.residual = residual
+	}
+	if x != nil && finiteVec(x) {
+		// A diverged iterate is useless and unencodable; the error field
+		// carries the diagnosis instead.
+		ss.x = append([]float64(nil), x...)
+	}
+	if ss.state != stateRunning {
+		return // cancelled (or Close) got there first
+	}
+	ss.state = state
+	ss.errMsg = errMsg
+	ss.finishedAtSequence = seq
+}
+
+// session looks up a resident session.
+func (s *Server) session(sid string) (*solveSession, error) {
+	s.sessMu.Lock()
+	ss, ok := s.sessions[sid]
+	s.sessMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, sid)
+	}
+	return ss, nil
+}
+
+// SolveStatus returns a session's state, optionally blocking up to wait
+// for it to leave running.
+func (s *Server) SolveStatus(sid string, wait time.Duration) (SolveStatus, error) {
+	ss, err := s.session(sid)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-ss.done:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	return ss.snapshot(true), nil
+}
+
+// CancelSolve cancels a session and removes it from the registry,
+// returning its final observable state.
+func (s *Server) CancelSolve(sid string) (SolveStatus, error) {
+	s.sessMu.Lock()
+	ss, ok := s.sessions[sid]
+	if ok {
+		delete(s.sessions, sid)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		return SolveStatus{}, fmt.Errorf("%w %q", ErrUnknownSession, sid)
+	}
+	ss.markCancelled(s.finishSeq())
+	return ss.snapshot(true), nil
+}
+
+// Sessions lists the resident sessions' summaries (no history or
+// solution vectors), newest first.
+func (s *Server) Sessions() []SolveStatus {
+	s.sessMu.Lock()
+	resident := make([]*solveSession, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		resident = append(resident, ss)
+	}
+	s.sessMu.Unlock()
+	sort.Slice(resident, func(i, j int) bool { return resident[i].created.After(resident[j].created) })
+	out := make([]SolveStatus, len(resident))
+	for i, ss := range resident {
+		out[i] = ss.snapshot(false)
+	}
+	return out
+}
+
+// solveWaitCap bounds GET /v1/solve/{sid}?wait=… so a hostile wait cannot
+// pin handler goroutines indefinitely.
+const solveWaitCap = 30 * time.Second
+
+func (s *Server) handleSolveCreate(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	st, err := s.Solve(r.PathValue("id"), req)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrUnknownMatrix):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrTooManySessions):
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleSolveGet(w http.ResponseWriter, r *http.Request) {
+	var wait time.Duration
+	if wq := r.URL.Query().Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: want a non-negative duration", wq))
+			return
+		}
+		wait = min(d, solveWaitCap)
+	}
+	st, err := s.SolveStatus(r.PathValue("sid"), wait)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSolveDelete(w http.ResponseWriter, r *http.Request) {
+	st, err := s.CancelSolve(r.PathValue("sid"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSolveList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+// Solve creates a solver session (in-process mirror of POST
+// /v1/matrices/{id}/solve).
+func (c *Client) Solve(id string, req SolveRequest) (SolveStatus, error) {
+	return c.s.Solve(id, req)
+}
+
+// SolveStatus polls a session, optionally waiting for it to finish.
+func (c *Client) SolveStatus(sid string, wait time.Duration) (SolveStatus, error) {
+	return c.s.SolveStatus(sid, wait)
+}
+
+// CancelSolve cancels and removes a session.
+func (c *Client) CancelSolve(sid string) (SolveStatus, error) { return c.s.CancelSolve(sid) }
+
+// Sessions lists resident solver sessions.
+func (c *Client) Sessions() []SolveStatus { return c.s.Sessions() }

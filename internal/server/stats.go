@@ -25,6 +25,9 @@ type stats struct {
 	retunePromotions atomic.Uint64 // candidates promoted to serving
 	retuneRejections atomic.Uint64 // candidates rejected by the benchmark
 
+	solveSessions atomic.Uint64 // solver sessions created
+	solveIters    atomic.Uint64 // solver iterations executed
+
 	matrixBytes atomic.Int64 // modeled matrix-stream DRAM bytes moved
 	sourceBytes atomic.Int64 // modeled source-vector DRAM bytes moved
 	destBytes   atomic.Int64 // modeled destination-vector DRAM bytes moved
@@ -76,6 +79,12 @@ type Stats struct {
 	RetunePromotions uint64
 	RetuneRejections uint64
 
+	// Solver sessions (see solve.go): sessions created and iterations
+	// executed server-side. Each iteration is one width-1 fused sweep, so
+	// solver work also shows up in Sweeps and the modeled byte counters.
+	SolveSessions uint64
+	SolveIters    uint64
+
 	// Modeled DRAM traffic (internal/traffic) actually moved by the
 	// executed sweeps, and the matrix-stream bytes fusion avoided versus
 	// running every request as its own sweep.
@@ -109,6 +118,8 @@ func (s *stats) snapshot() Stats {
 		RetuneEvals:      s.retuneEvals.Load(),
 		RetunePromotions: s.retunePromotions.Load(),
 		RetuneRejections: s.retuneRejections.Load(),
+		SolveSessions:    s.solveSessions.Load(),
+		SolveIters:       s.solveIters.Load(),
 		MatrixBytes:      s.matrixBytes.Load(),
 		SourceBytes:      s.sourceBytes.Load(),
 		DestBytes:        s.destBytes.Load(),

@@ -1,0 +1,34 @@
+package traffic
+
+// Iterative-solver traffic. A server-resident solver session (see
+// internal/solve and internal/server) executes one fused-path SpMV sweep
+// per iteration plus a handful of BLAS-1 operations over dimension-n
+// vectors; these helpers extend the §5.1-style byte accounting to that
+// per-iteration unit, which is what a solver session's throughput is
+// bandwidth-bound by. Vector reads are charged at 8 bytes per element and
+// vector writes at 16 (write-allocate fill plus writeback, matching the
+// destination-vector model above).
+const (
+	vecReadBytes  = 8
+	vecWriteBytes = 16
+)
+
+// CGIterationBytes models the DRAM bytes of one Conjugate Gradient
+// iteration: the SpMV sweep (sweepBytes, from the serving snapshot's
+// fused-path summary) plus its BLAS-1 tail — dot(p, Ap) reads 2n;
+// x += αp and r −= αAp each read 2n and write n; dot(r, r) reads n;
+// p = r + βp reads 2n and writes n — 9n reads and 3n writes in all.
+func CGIterationBytes(sweepBytes int64, n int) int64 {
+	nn := int64(n)
+	return sweepBytes + 9*nn*vecReadBytes + 3*nn*vecWriteBytes
+}
+
+// PowerIterationBytes models the DRAM bytes of one power iteration: the
+// SpMV sweep plus the Rayleigh quotient qᵀ(Aq) (2n reads), forming and
+// norming the eigen-residual Aq − λq (4n reads, 2n writes counting the
+// scratch copy), ‖Aq‖ (n reads), and the renormalization (n reads, n
+// writes) — 8n reads and 3n writes in all.
+func PowerIterationBytes(sweepBytes int64, n int) int64 {
+	nn := int64(n)
+	return sweepBytes + 8*nn*vecReadBytes + 3*nn*vecWriteBytes
+}

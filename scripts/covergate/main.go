@@ -3,10 +3,15 @@
 //
 //	go test -short -coverprofile=cover.out ./...
 //	go run ./scripts/covergate -profile cover.out \
-//	    -floor repro/internal/server=75 -floor repro/internal/tune=75
+//	    -floor repro/internal/server=75 -floor repro/internal/tune=75 \
+//	    -summary "$GITHUB_STEP_SUMMARY"
 //
 // and fails the build when a gated package's statement coverage falls
 // below its floor. Ungated packages are reported but never fail.
+// -summary appends a markdown table — every package's coverage, its
+// floor, and the delta above/below it — to the given file (the CI job
+// summary), so per-package movements are visible on every run without
+// downloading the profile artifact.
 package main
 
 import (
@@ -51,6 +56,7 @@ var profileLine = regexp.MustCompile(`^(.+)/[^/]+\.go:\d+\.\d+,\d+\.\d+ (\d+) (\
 
 func main() {
 	profile := flag.String("profile", "cover.out", "cover profile produced by go test -coverprofile")
+	summary := flag.String("summary", "", "append a markdown per-package coverage table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	gates := floors{}
 	flag.Var(gates, "floor", "package=minPercent statement-coverage floor (repeatable)")
 	flag.Parse()
@@ -102,6 +108,8 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Strings(pkgs)
+	var md strings.Builder
+	md.WriteString("### Coverage gate\n\n| package | coverage | floor | delta | |\n|---|---:|---:|---:|---|\n")
 	failed := false
 	for _, pkg := range pkgs {
 		t := perPkg[pkg]
@@ -110,18 +118,34 @@ func main() {
 		switch {
 		case gated && pct < floor:
 			fmt.Printf("FAIL %-40s %6.1f%% < floor %.1f%%\n", pkg, pct, floor)
+			fmt.Fprintf(&md, "| `%s` | %.1f%% | %.1f%% | %+.1f | ❌ |\n", pkg, pct, floor, pct-floor)
 			failed = true
 		case gated:
 			fmt.Printf("ok   %-40s %6.1f%% >= floor %.1f%%\n", pkg, pct, floor)
+			fmt.Fprintf(&md, "| `%s` | %.1f%% | %.1f%% | %+.1f | ✅ |\n", pkg, pct, floor, pct-floor)
 		default:
 			fmt.Printf("     %-40s %6.1f%%\n", pkg, pct)
+			fmt.Fprintf(&md, "| `%s` | %.1f%% | — | — | |\n", pkg, pct)
 		}
 	}
 	for pkg := range gates {
 		if _, ok := perPkg[pkg]; !ok {
 			fmt.Printf("FAIL %-40s absent from profile\n", pkg)
+			fmt.Fprintf(&md, "| `%s` | absent | %.1f%% | — | ❌ |\n", pkg, gates[pkg])
 			failed = true
 		}
+	}
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covergate: summary: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := f.WriteString(md.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "covergate: summary: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 	if failed {
 		os.Exit(1)

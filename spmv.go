@@ -82,6 +82,13 @@ func (m *Matrix) Entries(f func(i, j int, v float64)) {
 // bandwidth, symmetry) of the matrix.
 func (m *Matrix) Stats() MatrixStats { return m.coo.ComputeStats() }
 
+// IsSymmetric reports whether the matrix equals its transpose exactly
+// (numerical symmetry, not just the structural symmetry Stats reports).
+// It is the admission test for symmetry-requiring consumers — Conjugate
+// Gradient sessions, CompileSymmetric — independent of which storage
+// family ends up serving the matrix.
+func (m *Matrix) IsSymmetric() bool { return matrix.IsNumericallySymmetric(m.coo) }
+
 // MatrixStats re-exports the structural summary used by Table 3.
 type MatrixStats = matrix.Stats
 
