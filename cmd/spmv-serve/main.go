@@ -12,6 +12,7 @@
 //	go run ./cmd/spmv-serve [-addr :8707] [-preload FEM/Cantilever:0.05,LP:0.05]
 //	go run ./cmd/spmv-serve -members 4 -replicas 2 -preload LP:0.1:4   # in-process fleet
 //	go run ./cmd/spmv-serve -peers http://n1:8707,http://n2:8707       # remote fleet
+//	go run ./cmd/spmv-serve -log-format json -log-level debug -pprof-addr :6060
 //
 // Endpoints:
 //
@@ -20,21 +21,26 @@
 //	                           + optional {"symmetric":true|false} (omitted = auto-detect)
 //	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
-//	GET  /v1/matrices/{id}/tuning online re-tuner state (generation, drift, decisions)
+//	GET  /v1/matrices/{id}/tuning online re-tuner state + measured-vs-modeled roofline
 //	POST /v1/matrices/{id}/solve {"method":"cg","b":[...],"tol":1e-8,"max_iters":500} -> session
 //	GET  /v1/solve             list resident solver sessions
 //	GET  /v1/solve/{sid}       session state + residual history (?wait=2s blocks until done)
 //	DELETE /v1/solve/{sid}     cancel and remove a session
-//	GET  /v1/stats             JSON counters (+ cluster rollup)
+//	GET  /v1/stats             JSON counters + latency percentiles (+ cluster rollup)
 //	GET  /v1/cluster           shard topology
-//	GET  /metrics              Prometheus-style counters
+//	GET  /v1/traces            sampled request traces (?format=chrome for trace_event JSON)
+//	GET  /v1/healthz           liveness
+//	GET  /v1/buildinfo         module, version, Go version, VCS revision
+//	GET  /metrics              Prometheus text exposition (counters + latency histograms)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -64,7 +70,20 @@ func main() {
 	ejectAfter := flag.Int("eject-after", 3, "consecutive member failures before ejection from routing")
 	preload := flag.String("preload", "", "comma-separated suite matrices to register at startup, name[:scale[:shards]] each")
 	seed := flag.Int64("seed", 1, "generator seed for preloaded matrices")
+	obsSample := flag.Int("obs-sample", server.DefaultObsSample, "trace 1 in N requests into the /v1/traces ring; 0 disables the observability layer entirely")
+	obsRing := flag.Int("obs-ring", server.DefaultObsRing, "sampled-trace ring capacity")
+	rooflineGBs := flag.Float64("roofline-gbs", 0, "sustained DRAM bandwidth reference for roofline attribution, GB/s (0 = the paper's AMD X2 socket, ~6.6)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug logs every request)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); keep it off the public listener")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmv-serve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	cfg := server.DefaultConfig()
 	cfg.Threads = *threads
@@ -80,6 +99,10 @@ func main() {
 	cfg.MaxSessions = *maxSessions
 	cfg.RetuneInterval = *retuneInterval
 	cfg.RetuneDrift = *retuneDrift
+	cfg.ObsSample = *obsSample
+	cfg.ObsRing = *obsRing
+	cfg.RooflineGBs = *rooflineGBs
+	cfg.Logger = logger
 	s := server.New(cfg)
 	defer s.Close()
 
@@ -99,52 +122,107 @@ func main() {
 			Replicas: *replicas, EjectAfter: *ejectAfter,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "cluster setup failed", err)
 		}
 		s.AttachCluster(cluster)
 		for _, m := range cluster.Members() {
-			log.Printf("cluster member %s", m.Name)
+			logger.Info("cluster member attached", slog.String("member", m.Name))
 		}
 	}
 
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
-			name, scale, nshards, err := parsePreload(spec)
-			if err != nil {
-				log.Fatalf("preload %q: %v", spec, err)
+			if err := preloadOne(logger, s, spec, *seed); err != nil {
+				fatal(logger, "preload failed", err, slog.String("spec", spec))
 			}
-			if nshards >= 2 {
-				c := s.Cluster()
-				if c == nil {
-					log.Fatalf("preload %q: %d shards requested but no -members/-peers", spec, nshards)
-				}
-				m, err := spmv.GenerateSuite(name, scale, *seed)
-				if err != nil {
-					log.Fatalf("preload %q: %v", spec, err)
-				}
-				info, err := c.RegisterSharded("", name, m, nshards)
-				if err != nil {
-					log.Fatalf("preload %q: %v", spec, err)
-				}
-				log.Printf("preloaded %s as %q: %dx%d, %d nnz, %d shards x %d replicas",
-					name, info.ID, info.Rows, info.Cols, info.NNZ, info.Shards, info.Replicas)
-				continue
-			}
-			info, err := s.RegisterSuite("", name, scale, *seed)
-			if err != nil {
-				log.Fatalf("preload %q: %v", spec, err)
-			}
-			log.Printf("preloaded %s as %q: %dx%d, %d nnz, kernel %s, %.1f%% footprint savings",
-				name, info.ID, info.Rows, info.Cols, info.NNZ, info.Kernel, 100*info.Savings)
 		}
 	}
 
-	log.Printf("spmv-serve listening on %s (max-batch %d, window %v, adaptive %v, deterministic %v, retune %v)",
-		*addr, cfg.MaxBatch, cfg.BatchWindow, cfg.Adaptive, cfg.Deterministic, cfg.RetuneInterval)
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers (blank import above);
+		// the API listener uses its own mux, so profiles stay off it.
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			psrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil {
+				logger.Error("pprof server exited", slog.Any("err", err))
+			}
+		}()
+	}
+
+	logger.Info("spmv-serve listening",
+		slog.String("addr", *addr),
+		slog.Int("max_batch", cfg.MaxBatch),
+		slog.Duration("batch_window", cfg.BatchWindow),
+		slog.Bool("adaptive", cfg.Adaptive),
+		slog.Bool("deterministic", cfg.Deterministic),
+		slog.Duration("retune_interval", cfg.RetuneInterval),
+		slog.Int("obs_sample", cfg.ObsSample))
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(fmt.Errorf("spmv-serve: %w", err))
+		fatal(logger, "listener exited", err)
 	}
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error, attrs ...any) {
+	logger.Error(msg, append([]any{slog.Any("err", err)}, attrs...)...)
+	os.Exit(1)
+}
+
+// preloadOne registers one name[:scale[:shards]] preload spec.
+func preloadOne(logger *slog.Logger, s *server.Server, spec string, seed int64) error {
+	name, scale, nshards, err := parsePreload(spec)
+	if err != nil {
+		return err
+	}
+	if nshards >= 2 {
+		c := s.Cluster()
+		if c == nil {
+			return fmt.Errorf("%d shards requested but no -members/-peers", nshards)
+		}
+		m, err := spmv.GenerateSuite(name, scale, seed)
+		if err != nil {
+			return err
+		}
+		info, err := c.RegisterSharded("", name, m, nshards)
+		if err != nil {
+			return err
+		}
+		logger.Info("preloaded sharded matrix",
+			slog.String("suite", name), slog.String("matrix", info.ID),
+			slog.Int("rows", info.Rows), slog.Int("cols", info.Cols),
+			slog.Int64("nnz", info.NNZ),
+			slog.Int("shards", info.Shards), slog.Int("replicas", info.Replicas))
+		return nil
+	}
+	info, err := s.RegisterSuite("", name, scale, seed)
+	if err != nil {
+		return err
+	}
+	logger.Info("preloaded matrix",
+		slog.String("suite", name), slog.String("matrix", info.ID),
+		slog.Int("rows", info.Rows), slog.Int("cols", info.Cols),
+		slog.Int64("nnz", info.NNZ), slog.String("kernel", info.Kernel),
+		slog.Float64("footprint_savings", info.Savings))
+	return nil
 }
 
 // parsePreload splits one name[:scale[:shards]] preload spec. Suite names

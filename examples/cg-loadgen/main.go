@@ -75,6 +75,12 @@ func main() {
 	naiveElapsed := naive.elapsed()
 	fmt.Printf("naive     : %4d iters in %7.1fms  (%6.0f iters/s)  residual %.2e  wire %s\n",
 		iters, ms(naiveElapsed), float64(iters)/naiveElapsed.Seconds(), relres, naive.wire())
+	if lat := s.Latency(); lat != nil {
+		if h, ok := lat.Endpoint["mul"]; ok {
+			fmt.Printf("          : measured mul round-trip p50 %.0fµs  p99 %.0fµs (server-side, %d requests)\n",
+				h.P50US, h.P99US, h.Count)
+		}
+	}
 	_ = x
 
 	// Session: one solve request, state server-resident, poll to done.
@@ -83,6 +89,12 @@ func main() {
 	sessElapsed := sess.elapsed()
 	fmt.Printf("session   : %4d iters in %7.1fms  (%6.0f iters/s)  residual %.2e  wire %s\n",
 		fin.Iters, ms(sessElapsed), float64(fin.Iters)/sessElapsed.Seconds(), fin.Residual, sess.wire())
+	if lat := s.Latency(); lat != nil {
+		if h, ok := lat.Stage["solve_iter"]; ok {
+			fmt.Printf("          : measured iteration p50 %.0fµs  p99 %.0fµs (server-resident, %d iterations)\n",
+				h.P50US, h.P99US, h.Count)
+		}
+	}
 
 	naiveRate := float64(iters) / naiveElapsed.Seconds()
 	sessRate := float64(fin.Iters) / sessElapsed.Seconds()

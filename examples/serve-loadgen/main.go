@@ -57,6 +57,12 @@ func run(name string, cfg server.Config, suite string, scale float64, clients, r
 	reqPerSec = float64(st.Requests) / elapsed.Seconds()
 	fmt.Printf("%-10s %8.0f req/s  %6d sweeps for %5d requests (mean width %.2f)  %7.1f MB matrix stream saved\n",
 		name, reqPerSec, st.Sweeps, st.Requests, st.MeanFusedWidth(), float64(st.SavedBytes)/1e6)
+	if lat := c.Latency(); lat != nil {
+		if h, ok := lat.Matrix["m"]; ok {
+			fmt.Printf("%-10s measured mul latency: p50 %.0fµs  p99 %.0fµs  (mean %.0fµs over %d requests)\n",
+				"", h.P50US, h.P99US, h.MeanUS, h.Count)
+		}
+	}
 	return reqPerSec
 }
 

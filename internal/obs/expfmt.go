@@ -1,0 +1,490 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): a small writer that keeps
+// the /metrics endpoint honest — HELP and TYPE once per family, samples
+// after their metadata, histograms as the _bucket/_sum/_count triplet
+// with cumulative le buckets ending in +Inf. ParseExposition below is
+// the matching consumer; the metrics tests round-trip the endpoint
+// through it so the format can't silently rot.
+
+// Expositor writes one exposition. Families must be emitted whole (all
+// samples of a name together), which the helper methods guarantee.
+type Expositor struct {
+	w   io.Writer
+	err error
+}
+
+// NewExpositor wraps w.
+func NewExpositor(w io.Writer) *Expositor { return &Expositor{w: w} }
+
+// Err returns the first write error.
+func (e *Expositor) Err() error { return e.err }
+
+func (e *Expositor) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+func (e *Expositor) header(name, typ, help string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders a label set as {k="v",...}, keys sorted; empty for
+// no labels.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter emits one unlabelled counter.
+func (e *Expositor) Counter(name, help string, v float64) {
+	e.header(name, "counter", help)
+	e.printf("%s %s\n", name, formatValue(v))
+}
+
+// Gauge emits one unlabelled gauge.
+func (e *Expositor) Gauge(name, help string, v float64) {
+	e.header(name, "gauge", help)
+	e.printf("%s %s\n", name, formatValue(v))
+}
+
+// Sample is one labelled observation of a family.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// CounterVec emits a labelled counter family (all samples together).
+func (e *Expositor) CounterVec(name, help string, samples []Sample) {
+	e.vec(name, "counter", help, samples)
+}
+
+// GaugeVec emits a labelled gauge family.
+func (e *Expositor) GaugeVec(name, help string, samples []Sample) {
+	e.vec(name, "gauge", help, samples)
+}
+
+func (e *Expositor) vec(name, typ, help string, samples []Sample) {
+	e.header(name, typ, help)
+	for _, s := range samples {
+		e.printf("%s%s %s\n", name, labelString(s.Labels), formatValue(s.Value))
+	}
+}
+
+// expositionBoundsNS is the le ladder shared by every exposed histogram:
+// bucket uppers of (2^k − 1) ns for k = 10..34, ≈1 µs to ≈17 s. The
+// bounds align with octave edges of the internal log-linear buckets, so
+// coarsening is exact — no observation ever straddles a boundary.
+func expositionBoundsNS() []int64 {
+	bounds := make([]int64, 0, 25)
+	for k := 10; k <= 34; k++ {
+		bounds = append(bounds, int64(1)<<k-1)
+	}
+	return bounds
+}
+
+// HistogramFamily emits a histogram family: for each labelled snapshot,
+// cumulative _bucket samples on the shared le ladder plus +Inf, then
+// _sum (seconds) and _count. The ladder coarsens the internal fine
+// buckets exactly (see expositionBoundsNS).
+func (e *Expositor) HistogramFamily(name, help string, series []HistSeries) {
+	e.header(name, "histogram", help)
+	bounds := expositionBoundsNS()
+	for _, hs := range series {
+		snap := hs.Snap
+		ls := hs.Labels
+		var cum uint64
+		next := 0 // next fine bucket to fold in
+		for _, b := range bounds {
+			for next < numBuckets && bucketUpper(next) <= b {
+				cum += snap.Counts[next]
+				next++
+			}
+			e.printf("%s_bucket%s %d\n", name, bucketLabels(ls, float64(b)/1e9), cum)
+		}
+		e.printf("%s_bucket%s %d\n", name, bucketLabels(ls, math.Inf(1)), snap.Count)
+		e.printf("%s_sum%s %s\n", name, labelString(ls), formatValue(float64(snap.Sum)/1e9))
+		e.printf("%s_count%s %d\n", name, labelString(ls), snap.Count)
+	}
+}
+
+// HistSeries is one labelled histogram snapshot of a family.
+type HistSeries struct {
+	Labels map[string]string
+	Snap   Snapshot
+}
+
+// bucketLabels renders the label set plus the le bound.
+func bucketLabels(labels map[string]string, le float64) string {
+	merged := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged["le"] = formatValue(le)
+	return labelString(merged)
+}
+
+// ---------------------------------------------------------------------
+// Parser: the round-trip verifier.
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ParsedSample
+}
+
+// ParsedSample is one parsed sample line.
+type ParsedSample struct {
+	Name   string // full sample name (may carry _bucket/_sum/_count)
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition parses Prometheus text format into families, erroring
+// on structural violations: samples without preceding TYPE metadata,
+// duplicate TYPE lines, malformed names, labels, or values, histogram
+// families missing +Inf buckets or with non-monotone cumulative counts,
+// or _count disagreeing with the +Inf bucket. It is the verification
+// half of the exposition contract, not a general-purpose scrape client.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseComment(line string, fams map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		if len(fields) < 4 || !validTypes[fields[3]] {
+			return fmt.Errorf("bad TYPE for %q", name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &Family{Name: name}
+			fams[name] = f
+		}
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		f.Type = fields[3]
+	case "HELP":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &Family{Name: name}
+			fams[name] = f
+		}
+		if f.Help != "" {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its family, stripping histogram
+// suffixes when the base family is a histogram.
+func familyFor(fams map[string]*Family, sample string) *Family {
+	if f, ok := fams[sample]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; this exposition never writes one,
+	// so reject trailing fields outright.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses {k="v",...} returning the index just past '}'.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("malformed labels %q", in)
+		}
+		key := in[i : i+eq]
+		if !validName(key) {
+			return 0, fmt.Errorf("bad label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var val strings.Builder
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+			} else {
+				val.WriteByte(in[i])
+			}
+			i++
+		}
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label value in %q", in)
+		}
+		i++ // past closing quote
+		out[key] = val.String()
+	}
+}
+
+// validate checks family-level invariants: histogram bucket monotonicity
+// per label set, +Inf presence, and _count/_sum consistency.
+func (f *Family) validate() error {
+	if f.Type == "" {
+		return fmt.Errorf("family %q has samples but no TYPE", f.Name)
+	}
+	if f.Help == "" {
+		return fmt.Errorf("family %q has no HELP", f.Name)
+	}
+	if f.Type != "histogram" {
+		for _, s := range f.Samples {
+			if f.Type == "counter" && s.Value < 0 {
+				return fmt.Errorf("counter %q has negative value %g", f.Name, s.Value)
+			}
+		}
+		return nil
+	}
+	// Histogram: group by non-le label signature.
+	type series struct {
+		lastLe  float64
+		lastCum float64
+		infSeen bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+		sumSeen bool
+	}
+	groups := make(map[string]*series)
+	groupOf := func(labels map[string]string) *series {
+		sig := labelString(withoutLe(labels))
+		g := groups[sig]
+		if g == nil {
+			g = &series{lastLe: math.Inf(-1)}
+			groups[sig] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q bucket without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %q bad le %q", f.Name, leStr)
+			}
+			g := groupOf(s.Labels)
+			if le <= g.lastLe {
+				return fmt.Errorf("histogram %q le bounds not increasing at %q", f.Name, leStr)
+			}
+			if s.Value < g.lastCum {
+				return fmt.Errorf("histogram %q cumulative counts decrease at le=%q", f.Name, leStr)
+			}
+			g.lastLe, g.lastCum = le, s.Value
+			if math.IsInf(le, 1) {
+				g.infSeen, g.inf = true, s.Value
+			}
+		case f.Name + "_sum":
+			groupOf(s.Labels).sumSeen = true
+		case f.Name + "_count":
+			g := groupOf(s.Labels)
+			g.count, g.hasCnt = s.Value, true
+		default:
+			return fmt.Errorf("histogram %q has stray sample %q", f.Name, s.Name)
+		}
+	}
+	for sig, g := range groups {
+		if !g.infSeen {
+			return fmt.Errorf("histogram %q%s missing +Inf bucket", f.Name, sig)
+		}
+		if !g.sumSeen || !g.hasCnt {
+			return fmt.Errorf("histogram %q%s missing _sum or _count", f.Name, sig)
+		}
+		if g.count != g.inf {
+			return fmt.Errorf("histogram %q%s _count %g != +Inf bucket %g", f.Name, sig, g.count, g.inf)
+		}
+	}
+	return nil
+}
+
+func withoutLe(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionRoundTrip writes every family shape the server exposes
+// and parses it back: the writer and the validating parser are two
+// halves of one contract.
+func TestExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{
+		10 * time.Microsecond, 50 * time.Microsecond, 200 * time.Microsecond,
+		2 * time.Millisecond, 30 * time.Millisecond, 500 * time.Millisecond, 4 * time.Second,
+	} {
+		h.Record(d)
+	}
+	var sb strings.Builder
+	e := NewExpositor(&sb)
+	e.Counter("spmv_requests_total", "Requests admitted.", 42)
+	e.Gauge("spmv_matrices_registered", "Matrices in the registry.", 3)
+	e.CounterVec("spmv_fused_width_sweeps_total", "Sweeps by fused width.", []Sample{
+		{Labels: map[string]string{"width": "1"}, Value: 10},
+		{Labels: map[string]string{"width": "8"}, Value: 5},
+	})
+	e.GaugeVec("spmv_matrix_achieved_gbs", "Achieved effective bandwidth.", []Sample{
+		{Labels: map[string]string{"id": `tricky"\id`}, Value: 5.25},
+	})
+	e.HistogramFamily("spmv_request_duration_seconds", "Request latency.", []HistSeries{
+		{Labels: map[string]string{"endpoint": "mul"}, Snap: h.Snapshot()},
+		{Labels: map[string]string{"endpoint": "stats"}, Snap: NewHistogram().Snapshot()},
+	})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\nexposition:\n%s", err, sb.String())
+	}
+	if got := len(fams); got != 5 {
+		t.Fatalf("%d families, want 5", got)
+	}
+	if f := fams["spmv_requests_total"]; f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if f := fams["spmv_matrix_achieved_gbs"]; f.Samples[0].Labels["id"] != `tricky"\id` {
+		t.Fatalf("label escaping did not round-trip: %+v", f.Samples[0].Labels)
+	}
+
+	// The histogram family carries both series; mul's +Inf bucket and
+	// _count equal the 7 observations, and the 4s observation is beyond
+	// every finite bound except the top of the ladder.
+	f := fams["spmv_request_duration_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", f)
+	}
+	var mulCount, mulSum float64
+	for _, s := range f.Samples {
+		if s.Labels["endpoint"] != "mul" {
+			continue
+		}
+		switch s.Name {
+		case "spmv_request_duration_seconds_count":
+			mulCount = s.Value
+		case "spmv_request_duration_seconds_sum":
+			mulSum = s.Value
+		}
+	}
+	if mulCount != 7 {
+		t.Fatalf("mul _count = %g, want 7", mulCount)
+	}
+	wantSum := (10+50+200)*1e-6 + 2e-3 + 30e-3 + 0.5 + 4
+	if math.Abs(mulSum-wantSum) > 1e-9 {
+		t.Fatalf("mul _sum = %g, want %g", mulSum, wantSum)
+	}
+}
+
+// TestExpositionCoarseningExact checks the le-ladder fold: cumulative
+// bucket counts at each bound must exactly match a brute-force count of
+// the recorded observations (the ladder aligns with octave edges, so no
+// observation straddles a bound).
+func TestExpositionCoarseningExact(t *testing.T) {
+	h := NewHistogram()
+	var vals []int64
+	// Values deliberately planted at power-of-two edges: 2^k-1, 2^k, 2^k+1.
+	for k := 8; k <= 30; k += 2 {
+		for _, v := range []int64{1<<k - 1, 1 << k, 1<<k + 1} {
+			vals = append(vals, v)
+			h.Record(time.Duration(v))
+		}
+	}
+	var sb strings.Builder
+	e := NewExpositor(&sb)
+	e.HistogramFamily("x_seconds", "edge test.", []HistSeries{{Snap: h.Snapshot()}})
+	fams, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fams["x_seconds"].Samples {
+		if s.Name != "x_seconds_bucket" {
+			continue
+		}
+		le, _ := parseLe(s.Labels["le"])
+		want := 0
+		for _, v := range vals {
+			if float64(v)/1e9 <= le {
+				want++
+			}
+		}
+		if int(s.Value) != want {
+			t.Fatalf("le=%s: cumulative %g, want %d", s.Labels["le"], s.Value, want)
+		}
+	}
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestParserRejects feeds structurally broken expositions and expects
+// the parser to refuse each one.
+func TestParserRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 1\n",
+		"duplicate TYPE":      "# HELP a_total x\n# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"TYPE after samples":  "# HELP a_total x\n# TYPE a_total counter\na_total 1\n# TYPE a_total counter\n",
+		"bad type keyword":    "# HELP a_total x\n# TYPE a_total banana\na_total 1\n",
+		"negative counter":    "# HELP a_total x\n# TYPE a_total counter\na_total -1\n",
+		"missing HELP":        "# TYPE a_total counter\na_total 1\n",
+		"bad metric name":     "# HELP 9bad x\n# TYPE 9bad counter\n",
+		"bad value":           "# HELP a_total x\n# TYPE a_total counter\na_total banana\n",
+		"unquoted label":      "# HELP a_total x\n# TYPE a_total counter\na_total{w=3} 1\n",
+		"histogram no +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram non-monotone": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"histogram missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted broken exposition", name)
+		}
+	}
+}
+
+// TestParserAcceptsForeign checks the parser tolerates valid text it
+// didn't write itself: free-form comments, untyped metrics, labels with
+// escaped values.
+func TestParserAcceptsForeign(t *testing.T) {
+	in := "# a free comment\n" +
+		"# HELP up 1 when healthy\n# TYPE up gauge\nup 1\n" +
+		"# HELP weird_total has \\\\ and \\n escapes\n# TYPE weird_total counter\n" +
+		"weird_total{path=\"a\\\"b\\\\c\\nd\"} 7\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["weird_total"].Samples[0]
+	if s.Labels["path"] != "a\"b\\c\nd" {
+		t.Fatalf("escaped label = %q", s.Labels["path"])
+	}
+}

@@ -1,0 +1,240 @@
+// Package obs is the serving stack's measurement substrate: lock-free
+// latency histograms, a sampled ring buffer of request traces, and the
+// measured-time accumulators that join wall clocks with the traffic
+// model's byte counts into a live roofline. The package deliberately
+// avoids locks on every recording path — the paper's whole argument is
+// that the kernels are memory-bound, and an observability layer that
+// serializes the request path would perturb exactly the thing it
+// measures. Everything here is atomics: a histogram record is three
+// atomic adds, a trace record is one pointer store into a ring.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log-linear (HdrHistogram-style). Values
+// (nanoseconds) up to 2^subBits land in exact unit buckets; above that,
+// each power-of-two octave splits into 2^subBits linear sub-buckets, so
+// the relative quantization error is bounded by 2^-subBits ≈ 3.1% —
+// tight enough that a reported p99 is trustworthy — while the whole
+// bucket array stays small enough (numBuckets counters) to keep one
+// histogram per endpoint, per stage, and per matrix.
+const (
+	subBits    = 5 // 32 sub-buckets per octave → ≤3.125% relative error
+	subCount   = 1 << subBits
+	maxExp     = 43 // top octave upper bound ≈ 2^44 ns ≈ 4.9 hours
+	numBuckets = (maxExp - subBits + 2) * subCount
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - subBits // octaves above the linear range
+	if exp > maxExp-subBits {
+		exp = maxExp - subBits // clamp: absurd values land in the top octave
+	}
+	sub := int(v>>uint(exp)) & (subCount - 1)
+	return (exp+1)<<subBits + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i — the "le"
+// boundary the bucket's counts satisfy.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	exp := uint(i>>subBits - 1)
+	sub := int64(i&(subCount-1)) + subCount
+	return (sub+1)<<exp - 1
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. Record is
+// wait-free (three atomic adds); Snapshot walks the buckets without
+// stopping writers, so a snapshot taken under concurrent recording is a
+// consistent-enough view (counts may trail the sum by in-flight records,
+// never the reverse ordering a lock would promise — fine for monitoring).
+// The zero value is NOT ready; use NewHistogram (the bucket array is
+// heap-allocated so unused histograms don't cost 2700 counters each).
+type Histogram struct {
+	buckets *[numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: new([numBuckets]atomic.Uint64)}
+}
+
+// Record adds one duration observation. Negative durations clamp to 0.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of a histogram's buckets.
+type Snapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64
+	Sum    int64 // nanoseconds
+	Max    int64 // nanoseconds
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the value at quantile q in [0, 1] (the upper bound of
+// the bucket holding the q-th observation), or 0 when empty. The answer
+// overestimates the true order statistic by at most one bucket width —
+// the ≤3.1% relative error the geometry fixes.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if s.Max < u {
+				return time.Duration(s.Max) // never report beyond the observed max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the mean observation.
+func (s *Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// HistStats is the JSON shape of one histogram's summary: microsecond
+// percentiles for /v1/stats. Microseconds are the natural unit for
+// serving latencies that run from tens of µs (a lone small sweep) to
+// tens of ms (a fused full-scale one).
+type HistStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }
+
+// Stats summarizes a histogram for JSON consumers.
+func (h *Histogram) Stats() HistStats {
+	s := h.Snapshot()
+	return HistStats{
+		Count:  s.Count,
+		MeanUS: us(s.Mean()),
+		P50US:  us(s.Quantile(0.50)),
+		P95US:  us(s.Quantile(0.95)),
+		P99US:  us(s.Quantile(0.99)),
+		P999US: us(s.Quantile(0.999)),
+		MaxUS:  us(time.Duration(s.Max)),
+	}
+}
+
+// Vec is a set of histograms keyed by one label value (endpoint name,
+// stage name, matrix id). Lookups after first use are a lock-free
+// sync.Map load; creation races resolve to one winner.
+type Vec struct {
+	m sync.Map // string -> *Histogram
+}
+
+// Get returns the histogram for the label, creating it on first use.
+func (v *Vec) Get(label string) *Histogram {
+	if h, ok := v.m.Load(label); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.m.LoadOrStore(label, NewHistogram())
+	return h.(*Histogram)
+}
+
+// Observe records d under the label.
+func (v *Vec) Observe(label string, d time.Duration) { v.Get(label).Record(d) }
+
+// Labels returns the labels present, unsorted.
+func (v *Vec) Labels() []string {
+	var out []string
+	v.m.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	return out
+}
+
+// Stats summarizes every labelled histogram.
+func (v *Vec) Stats() map[string]HistStats {
+	out := make(map[string]HistStats)
+	v.m.Range(func(k, h any) bool {
+		out[k.(string)] = h.(*Histogram).Stats()
+		return true
+	})
+	return out
+}
+
+// Series snapshots every labelled histogram as exposition series under
+// labelName, sorted by label value for stable /metrics output.
+func (v *Vec) Series(labelName string) []HistSeries {
+	var out []HistSeries
+	v.m.Range(func(k, h any) bool {
+		out = append(out, HistSeries{
+			Labels: map[string]string{labelName: k.(string)},
+			Snap:   h.(*Histogram).Snapshot(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels[labelName] < out[j].Labels[labelName] })
+	return out
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear geometry: indices are
+// monotone, contiguous (every value maps into exactly one bucket whose
+// range contains it), and the relative width of any bucket above the
+// linear range is bounded by 2^-subBits.
+func TestBucketBoundaries(t *testing.T) {
+	// The linear range is exact.
+	for v := int64(0); v < subCount; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+		if up := bucketUpper(int(v)); up != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, up, v)
+		}
+	}
+	// Upper bounds strictly increase and each bucket contains its bounds.
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucketUpper(%d) = %d not above previous %d", i, up, prev)
+		}
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(upper=%d) = %d, want %d", up, got, i)
+		}
+		if got := bucketOf(prev + 1); got != i {
+			t.Fatalf("bucketOf(lower=%d) = %d, want %d", prev+1, got, i)
+		}
+		// Relative width bound: (upper - lower + 1) / lower <= 2^-subBits
+		// once past the linear range.
+		if i >= 2*subCount {
+			width := float64(up - prev)
+			if width/float64(prev+1) > 1.0/float64(subCount)+1e-12 {
+				t.Fatalf("bucket %d [%d,%d] wider than %.2f%% relative",
+					i, prev+1, up, 100.0/float64(subCount))
+			}
+		}
+		prev = up
+	}
+	// Values beyond the top octave clamp instead of indexing out of range.
+	if got := bucketOf(1 << 62); got >= numBuckets {
+		t.Fatalf("huge value mapped to out-of-range bucket %d", got)
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Fatalf("negative value mapped to bucket %d, want 0", got)
+	}
+}
+
+// TestQuantileAccuracy compares histogram quantiles against the exact
+// sorted-sample order statistics on log-uniform latencies: the histogram
+// answer must sit within one bucket's relative error of the truth.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	h := NewHistogram()
+	samples := make([]int64, n)
+	for i := range samples {
+		// Log-uniform from 1µs to 1s — the shape of serving latencies.
+		exp := 3 + rng.Float64()*6 // 10^3 .. 10^9 ns
+		v := int64(rng.Float64() * math.Pow(10, exp))
+		samples[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := h.Snapshot()
+	if snap.Count != n {
+		t.Fatalf("count %d, want %d", snap.Count, n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+		rank := int(q*float64(n)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		got := int64(snap.Quantile(q))
+		// One bucket of relative error either way, plus the rank-rounding
+		// slop between ceil-rank and floor-rank conventions.
+		lo := samples[maxInt(0, rank-n/1000)]
+		tol := float64(exact) / float64(subCount)
+		if float64(got) < float64(lo)-tol || float64(got) > float64(exact)*(1+2.0/float64(subCount))+tol {
+			t.Fatalf("q=%g: histogram %d vs exact %d (tolerance %.0f)", q, got, exact, tol)
+		}
+	}
+	if m := snap.Max; m != samples[n-1] {
+		t.Fatalf("max %d, want %d", m, samples[n-1])
+	}
+	if mean := snap.Mean(); mean <= 0 {
+		t.Fatalf("mean %v not positive", mean)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestQuantileEdgeCases covers the empty histogram and clamped q.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", got)
+	}
+	h.Record(5 * time.Millisecond)
+	snap = h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := snap.Quantile(q)
+		if got <= 0 || got > 6*time.Millisecond {
+			t.Fatalf("single-sample q=%g = %v, want ≈5ms", q, got)
+		}
+	}
+	if st := h.Stats(); st.Count != 1 || st.P50US < 4000 || st.P50US > 6000 {
+		t.Fatalf("Stats() = %+v, want one ≈5000µs sample", st)
+	}
+}
+
+// TestConcurrentRecording hammers one histogram and one Vec from many
+// goroutines; -race is the assertion, plus exact count conservation.
+func TestConcurrentRecording(t *testing.T) {
+	h := NewHistogram()
+	var vec Vec
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				d := time.Duration(rng.Int63n(int64(time.Second)))
+				h.Record(d)
+				vec.Observe([]string{"mul", "solve", "stats"}[i%3], d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+	var total uint64
+	stats := vec.Stats()
+	for _, st := range stats {
+		total += st.Count
+	}
+	if total != workers*per {
+		t.Fatalf("vec total %d, want %d", total, workers*per)
+	}
+	if len(vec.Labels()) != 3 || len(stats) != 3 {
+		t.Fatalf("vec labels = %v, want 3", vec.Labels())
+	}
+}
+
+// TestRooflineStats checks the bandwidth arithmetic and nil safety.
+func TestRooflineStats(t *testing.T) {
+	var nilRoof *Roofline
+	nilRoof.Record(time.Second, 100) // must not panic
+	if st := nilRoof.Stats(10); st.Sweeps != 0 {
+		t.Fatalf("nil roofline stats = %+v", st)
+	}
+	r := &Roofline{}
+	r.Record(100*time.Millisecond, 500_000_000) // 0.5 GB in 0.1 s = 5 GB/s
+	r.Record(100*time.Millisecond, 500_000_000)
+	st := r.Stats(10)
+	if st.Sweeps != 2 || st.ModeledBytes != 1_000_000_000 {
+		t.Fatalf("accumulation wrong: %+v", st)
+	}
+	if st.AchievedGBs < 4.9 || st.AchievedGBs > 5.1 {
+		t.Fatalf("achieved %.2f GB/s, want ≈5", st.AchievedGBs)
+	}
+	if st.ModelRatio < 0.49 || st.ModelRatio > 0.51 {
+		t.Fatalf("model ratio %.3f, want ≈0.5", st.ModelRatio)
+	}
+	if st := r.Stats(0); st.ModelRatio != 0 {
+		t.Fatalf("reference 0 should omit ratio, got %+v", st)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of a request, offset-relative to the trace
+// start so a trace serializes compactly and stages can be checked to
+// tile the request's wall time.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"` // offset from Trace.Begin
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Trace is one sampled request's timeline through the serving stack.
+type Trace struct {
+	ID     uint64        `json:"id"`
+	Op     string        `json:"op"`               // "mul", "cg_iter", "power_iter", ...
+	Matrix string        `json:"matrix,omitempty"` // registered matrix id
+	Width  int           `json:"width,omitempty"`  // fused width of the sweep that served it
+	Gen    int           `json:"generation"`       // serving snapshot generation
+	Begin  time.Time     `json:"begin"`
+	Wall   time.Duration `json:"wall_ns"`
+	Spans  []Span        `json:"spans"`
+}
+
+// Ring is a lock-free fixed-size buffer of recent traces. Put is one
+// atomic counter bump plus one atomic pointer store; concurrent writers
+// may interleave slots but never tear a trace (the pointer swaps whole).
+type Ring struct {
+	buf []atomic.Pointer[Trace]
+	pos atomic.Uint64
+	id  atomic.Uint64
+}
+
+// NewRing returns a ring holding the last n traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]atomic.Pointer[Trace], n)}
+}
+
+// NextID issues a fresh trace id.
+func (r *Ring) NextID() uint64 { return r.id.Add(1) }
+
+// Put records a completed trace, overwriting the oldest slot.
+func (r *Ring) Put(t *Trace) {
+	slot := (r.pos.Add(1) - 1) % uint64(len(r.buf))
+	r.buf[slot].Store(t)
+}
+
+// Snapshot returns the resident traces, oldest first.
+func (r *Ring) Snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.buf))
+	for i := range r.buf {
+		if t := r.buf[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sampler decides which requests get a full trace: 1 in Every, decided
+// by one atomic counter — cheap enough to consult on every request.
+// Every <= 0 samples nothing.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler samples 1 in every requests (every <= 0 disables).
+func NewSampler(every int) *Sampler {
+	if every < 0 {
+		every = 0
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this request should be traced.
+func (s *Sampler) Sample() bool {
+	if s.every == 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// ChromeEvent is one entry of the Chrome trace_event format ("X"
+// complete events), loadable in chrome://tracing and Perfetto for a
+// timeline view of sampled requests. Timestamps are microseconds.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace converts traces to trace_event JSON events: each trace is
+// one "thread" (tid = trace id) whose spans nest under a request-wide
+// event, with timestamps relative to the earliest trace so the timeline
+// opens at zero.
+func ChromeTrace(traces []*Trace) []ChromeEvent {
+	events := make([]ChromeEvent, 0, len(traces)*4)
+	var epoch time.Time
+	for _, t := range traces {
+		if epoch.IsZero() || t.Begin.Before(epoch) {
+			epoch = t.Begin
+		}
+	}
+	for _, t := range traces {
+		base := float64(t.Begin.Sub(epoch)) / 1e3
+		events = append(events, ChromeEvent{
+			Name: t.Op, Phase: "X", TS: base, Dur: float64(t.Wall) / 1e3,
+			PID: 1, TID: t.ID,
+			Args: map[string]any{"matrix": t.Matrix, "width": t.Width, "generation": t.Gen},
+		})
+		for _, sp := range t.Spans {
+			events = append(events, ChromeEvent{
+				Name: sp.Name, Phase: "X",
+				TS: base + float64(sp.Start)/1e3, Dur: float64(sp.Dur) / 1e3,
+				PID: 1, TID: t.ID,
+			})
+		}
+	}
+	return events
+}

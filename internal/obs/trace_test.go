@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingOverwrite fills a small ring past capacity and checks that
+// only the newest traces survive, oldest first.
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Put(&Trace{ID: r.NextID(), Op: "mul"})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d traces, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(7 + i); tr.ID != want {
+			t.Fatalf("slot %d has trace %d, want %d (newest four, ordered)", i, tr.ID, want)
+		}
+	}
+}
+
+// TestRingConcurrent hammers Put/Snapshot under -race; every snapshot
+// must hold whole traces (no tearing) and at most capacity of them.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				id := r.NextID()
+				r.Put(&Trace{ID: id, Op: "mul", Wall: time.Duration(id)})
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range r.Snapshot() {
+				if tr.Wall != time.Duration(tr.ID) {
+					t.Errorf("torn trace: id %d wall %d", tr.ID, tr.Wall)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := len(r.Snapshot()); got != 8 {
+		t.Fatalf("final snapshot %d traces, want 8", got)
+	}
+}
+
+// TestSamplerRate checks the 1-in-N contract and the disabled mode.
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampler hit %d of 400", hits)
+	}
+	off := NewSampler(0)
+	for i := 0; i < 100; i++ {
+		if off.Sample() {
+			t.Fatal("disabled sampler sampled")
+		}
+	}
+	if neg := NewSampler(-3); neg.Sample() {
+		t.Fatal("negative-rate sampler sampled")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("1-in-1 sampler skipped")
+		}
+	}
+}
+
+// TestSamplerConcurrent checks the counter stays exact under contention.
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(10)
+	var wg sync.WaitGroup
+	totalHits := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if s.Sample() {
+					totalHits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for _, h := range totalHits {
+		sum += h
+	}
+	if sum != 800 {
+		t.Fatalf("1-in-10 sampler hit %d of 8000", sum)
+	}
+}
+
+// TestChromeTrace checks the trace_event conversion: spans become "X"
+// events on the trace's tid, timestamps rebased to the earliest trace.
+func TestChromeTrace(t *testing.T) {
+	t0 := time.Now()
+	traces := []*Trace{
+		{
+			ID: 2, Op: "mul", Matrix: "m1", Width: 4, Begin: t0.Add(50 * time.Microsecond),
+			Wall: 100 * time.Microsecond,
+			Spans: []Span{
+				{Name: "queue", Start: 0, Dur: 40 * time.Microsecond},
+				{Name: "execute", Start: 40 * time.Microsecond, Dur: 60 * time.Microsecond},
+			},
+		},
+		{ID: 1, Op: "mul", Matrix: "m1", Begin: t0, Wall: 30 * time.Microsecond},
+	}
+	events := ChromeTrace(traces)
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4 (2 requests + 2 spans)", len(events))
+	}
+	// Every event carries phase X and the trace's tid; the second trace's
+	// request event is rebased +50µs from the first.
+	var reqTS []float64
+	for _, ev := range events {
+		if ev.Phase != "X" {
+			t.Fatalf("phase %q, want X", ev.Phase)
+		}
+		if ev.Name == "mul" {
+			reqTS = append(reqTS, ev.TS)
+		}
+	}
+	if len(reqTS) != 2 || reqTS[0]-reqTS[1] != 50 && reqTS[1]-reqTS[0] != 50 {
+		t.Fatalf("request timestamps %v, want 50µs apart", reqTS)
+	}
+	// Span timestamps are offset from their trace's base.
+	for _, ev := range events {
+		if ev.Name == "execute" && ev.TS != 90 {
+			t.Fatalf("execute span ts %.1f µs, want 90 (50 base + 40 offset)", ev.TS)
+		}
+	}
+}

@@ -12,10 +12,16 @@ type mulResult struct {
 	err error
 }
 
-// pending is one admitted Mul request waiting for its sweep.
+// pending is one admitted Mul request waiting for its sweep. enq and
+// traced are the observability layer's per-request state (zero when the
+// layer is off): enq anchors the queue-wait span and the per-matrix
+// latency histogram, traced marks the requests the sampler picked for a
+// full span trace.
 type pending struct {
-	x  []float64
-	ch chan mulResult
+	x      []float64
+	ch     chan mulResult
+	enq    time.Time
+	traced bool
 }
 
 // openBatch is a batch still accepting joiners. reqs is guarded by the
@@ -58,8 +64,7 @@ func newBatcher(maxBatch int, window time.Duration, adaptive bool, exec func([]*
 }
 
 // mul admits one request and blocks until its sweep completes.
-func (b *batcher) mul(x []float64) ([]float64, error) {
-	p := &pending{x: x, ch: make(chan mulResult, 1)}
+func (b *batcher) mul(p *pending) ([]float64, error) {
 	b.mu.Lock()
 	now := time.Now()
 	interval := now.Sub(b.lastArrival)

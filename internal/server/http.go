@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	spmv "repro"
+	"repro/internal/obs"
 )
 
 // registerRequest is the body of POST /v1/matrices. Exactly one matrix
@@ -67,9 +69,15 @@ type errorResponse struct {
 //	GET  /v1/solve                list resident solver sessions
 //	GET  /v1/solve/{sid}          session state + residual history (?wait=dur blocks until done)
 //	DELETE /v1/solve/{sid}        cancel and remove a session
-//	GET  /v1/stats                JSON counter snapshot (+ cluster rollup when attached)
+//	GET  /v1/stats                JSON counter snapshot + latency percentiles (+ cluster rollup)
 //	GET  /v1/cluster              shard topology: members and sharded matrices
-//	GET  /metrics                 Prometheus-style counters
+//	GET  /v1/traces               sampled request traces (?format=chrome for trace_event JSON)
+//	GET  /v1/healthz              liveness: status, uptime, matrix count
+//	GET  /v1/buildinfo            module path, version, Go version, VCS revision
+//	GET  /metrics                 Prometheus text exposition: counters, gauges, latency histograms
+//
+// Every route is wrapped by the instrumentation middleware: request ids,
+// structured access logs, and per-endpoint latency histograms.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
@@ -82,8 +90,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/solve/{sid}", s.handleSolveDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/buildinfo", s.handleBuildinfo)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -280,16 +291,19 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// statsResponse is /v1/stats: the local serving counters, plus the cluster
-// rollup when this server fronts a shard coordinator. The embedded Stats
-// keeps the flat single-node schema stable for existing consumers.
+// statsResponse is /v1/stats: the local serving counters, the measured
+// latency percentiles (per endpoint, per stage, per matrix), plus the
+// cluster rollup when this server fronts a shard coordinator. The
+// embedded Stats keeps the flat single-node schema stable for existing
+// consumers.
 type statsResponse struct {
 	Stats
-	Cluster *ClusterStats `json:"cluster,omitempty"`
+	Latency *LatencyReport `json:"latency,omitempty"`
+	Cluster *ClusterStats  `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := statsResponse{Stats: s.Stats()}
+	resp := statsResponse{Stats: s.Stats(), Latency: s.Latency()}
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
 		resp.Cluster = &cs
@@ -314,48 +328,89 @@ func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleMetrics serves the Prometheus text exposition (version 0.0.4)
+// through obs.Expositor, the writer whose output obs.ParseExposition
+// round-trips in the tests: counters and gauges for the serving state,
+// per-matrix roofline attribution gauges, and — when observability is on
+// — proper histogram families (_bucket/_sum/_count with cumulative le
+// bounds) for the endpoint, stage, and matrix latency surfaces.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	put := func(name, typ, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
-	}
-	put("spmv_serve_requests_total", "counter", "Mul requests admitted.", st.Requests)
-	put("spmv_serve_sweeps_total", "counter", "Kernel sweeps executed.", st.Sweeps)
-	put("spmv_serve_fused_sweeps_total", "counter", "Sweeps that coalesced >= 2 requests.", st.FusedSweeps)
-	put("spmv_serve_fused_requests_total", "counter", "Requests served by fused sweeps.", st.FusedRequests)
-	put("spmv_serve_single_fallbacks_total", "counter", "Requests served by the per-request parallel path.", st.SingleFallbacks)
-	put("spmv_serve_matrices_registered", "gauge", "Matrices in the registry.", st.Registered)
-	put("spmv_serve_compiles_total", "counter", "Tuner+compile runs (operator-cache misses).", st.Compiles)
-	put("spmv_serve_compile_hits_total", "counter", "Operator-cache hits.", st.CompileHits)
-	put("spmv_serve_retune_evals_total", "counter", "Drifted matrices shadow-benchmarked by the re-tuner.", st.RetuneEvals)
-	put("spmv_serve_retune_promotions_total", "counter", "Re-tuned operators promoted to serving.", st.RetunePromotions)
-	put("spmv_serve_retune_rejections_total", "counter", "Re-tune candidates rejected by the shadow benchmark.", st.RetuneRejections)
-	put("spmv_serve_solve_sessions_total", "counter", "Solver sessions created.", st.SolveSessions)
-	put("spmv_serve_solve_iters_total", "counter", "Solver iterations executed (each one width-1 sweep).", st.SolveIters)
+	e := obs.NewExpositor(w)
+	e.Counter("spmv_serve_requests_total", "Mul requests admitted.", float64(st.Requests))
+	e.Counter("spmv_serve_sweeps_total", "Kernel sweeps executed.", float64(st.Sweeps))
+	e.Counter("spmv_serve_fused_sweeps_total", "Sweeps that coalesced >= 2 requests.", float64(st.FusedSweeps))
+	e.Counter("spmv_serve_fused_requests_total", "Requests served by fused sweeps.", float64(st.FusedRequests))
+	e.Counter("spmv_serve_single_fallbacks_total", "Requests served by the per-request parallel path.", float64(st.SingleFallbacks))
+	e.Gauge("spmv_serve_matrices_registered", "Matrices in the registry.", float64(st.Registered))
+	e.Counter("spmv_serve_compiles_total", "Tuner+compile runs (operator-cache misses).", float64(st.Compiles))
+	e.Counter("spmv_serve_compile_hits_total", "Operator-cache hits.", float64(st.CompileHits))
+	e.Counter("spmv_serve_retune_evals_total", "Drifted matrices shadow-benchmarked by the re-tuner.", float64(st.RetuneEvals))
+	e.Counter("spmv_serve_retune_promotions_total", "Re-tuned operators promoted to serving.", float64(st.RetunePromotions))
+	e.Counter("spmv_serve_retune_rejections_total", "Re-tune candidates rejected by the shadow benchmark.", float64(st.RetuneRejections))
+	e.Counter("spmv_serve_solve_sessions_total", "Solver sessions created.", float64(st.SolveSessions))
+	e.Counter("spmv_serve_solve_iters_total", "Solver iterations executed (each one width-1 sweep).", float64(st.SolveIters))
 	s.sessMu.Lock()
 	resident := len(s.sessions)
 	s.sessMu.Unlock()
-	put("spmv_serve_solve_sessions_resident", "gauge", "Solver sessions resident (running or uncollected).", resident)
-	put("spmv_serve_matrix_bytes_total", "counter", "Modeled matrix-stream DRAM bytes moved.", st.MatrixBytes)
-	put("spmv_serve_source_bytes_total", "counter", "Modeled source-vector DRAM bytes moved.", st.SourceBytes)
-	put("spmv_serve_dest_bytes_total", "counter", "Modeled destination-vector DRAM bytes moved.", st.DestBytes)
-	put("spmv_serve_saved_bytes_total", "counter", "Matrix-stream bytes avoided by fusion.", st.SavedBytes)
-	fmt.Fprintf(w, "# HELP spmv_serve_fused_width Sweeps by fused width.\n# TYPE spmv_serve_fused_width counter\n")
+	e.Gauge("spmv_serve_solve_sessions_resident", "Solver sessions resident (running or uncollected).", float64(resident))
+	e.Counter("spmv_serve_matrix_bytes_total", "Modeled matrix-stream DRAM bytes moved.", float64(st.MatrixBytes))
+	e.Counter("spmv_serve_source_bytes_total", "Modeled source-vector DRAM bytes moved.", float64(st.SourceBytes))
+	e.Counter("spmv_serve_dest_bytes_total", "Modeled destination-vector DRAM bytes moved.", float64(st.DestBytes))
+	e.Counter("spmv_serve_saved_bytes_total", "Matrix-stream bytes avoided by fusion.", float64(st.SavedBytes))
+	var widths []obs.Sample
 	for wd, n := range st.FusedWidthHist {
 		if n > 0 {
-			fmt.Fprintf(w, "spmv_serve_fused_width{width=%q} %d\n", fmt.Sprint(wd), n)
+			widths = append(widths, obs.Sample{
+				Labels: map[string]string{"width": strconv.Itoa(wd)}, Value: float64(n),
+			})
 		}
 	}
+	e.CounterVec("spmv_serve_fused_width_sweeps_total", "Sweeps by fused width.", widths)
+
+	// Roofline attribution per matrix: modeled bytes over measured sweep
+	// seconds, and that bandwidth as a fraction of the configured
+	// sustained-DRAM reference. Attribution is per serving generation —
+	// the gauges reflect the current operator's own sweeps.
+	var achieved, ratio, gens []obs.Sample
+	for _, entry := range s.reg.List() {
+		sv := entry.cur.Load()
+		if sv == nil {
+			continue
+		}
+		rs := sv.roof.Stats(s.cfg.RooflineGBs)
+		labels := map[string]string{"id": entry.ID, "kernel": sv.op.KernelName()}
+		gens = append(gens, obs.Sample{Labels: map[string]string{"id": entry.ID}, Value: float64(sv.gen)})
+		if rs.Sweeps == 0 {
+			continue
+		}
+		achieved = append(achieved, obs.Sample{Labels: labels, Value: rs.AchievedGBs})
+		ratio = append(ratio, obs.Sample{Labels: labels, Value: rs.ModelRatio})
+	}
+	e.GaugeVec("spmv_serve_matrix_generation", "Serving snapshot generation (re-tune promotions).", gens)
+	e.GaugeVec("spmv_serve_matrix_achieved_gbs", "Measured-vs-modeled roofline: modeled bytes over measured sweep seconds.", achieved)
+	e.GaugeVec("spmv_serve_matrix_roofline_ratio", "Achieved bandwidth over the configured sustained-DRAM reference.", ratio)
+
+	if s.obs != nil {
+		e.HistogramFamily("spmv_http_request_duration_seconds",
+			"HTTP request latency by endpoint.", s.obs.endpoint.Series("endpoint"))
+		e.HistogramFamily("spmv_serve_stage_duration_seconds",
+			"Serving pipeline stage latency (queue, interleave, execute, gather, solve_iter, solve_sweep).",
+			s.obs.stage.Series("stage"))
+		e.HistogramFamily("spmv_serve_mul_duration_seconds",
+			"Mul latency by matrix, admission to reply.", s.obs.matrix.Series("id"))
+	}
+
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
-		put("spmv_cluster_members", "gauge", "Cluster member nodes.", cs.Members)
-		put("spmv_cluster_members_ejected", "gauge", "Members ejected from routing.", cs.Ejected)
-		put("spmv_cluster_matrices", "gauge", "Sharded matrices served.", cs.Matrices)
-		put("spmv_cluster_requests_total", "counter", "Sharded Mul requests admitted.", cs.Requests)
-		put("spmv_cluster_scatters_total", "counter", "Band sub-requests issued.", cs.Scatters)
-		put("spmv_cluster_retries_total", "counter", "Failed band sub-request attempts.", cs.Retries)
-		put("spmv_cluster_failovers_total", "counter", "Bands served by a fallback replica.", cs.Failovers)
-		put("spmv_cluster_ejections_total", "counter", "Member ejections.", cs.Ejections)
+		e.Gauge("spmv_cluster_members", "Cluster member nodes.", float64(cs.Members))
+		e.Gauge("spmv_cluster_members_ejected", "Members ejected from routing.", float64(cs.Ejected))
+		e.Gauge("spmv_cluster_matrices", "Sharded matrices served.", float64(cs.Matrices))
+		e.Counter("spmv_cluster_requests_total", "Sharded Mul requests admitted.", float64(cs.Requests))
+		e.Counter("spmv_cluster_scatters_total", "Band sub-requests issued.", float64(cs.Scatters))
+		e.Counter("spmv_cluster_retries_total", "Failed band sub-request attempts.", float64(cs.Retries))
+		e.Counter("spmv_cluster_failovers_total", "Bands served by a fallback replica.", float64(cs.Failovers))
+		e.Counter("spmv_cluster_ejections_total", "Member ejections.", float64(cs.Ejections))
 	}
 }

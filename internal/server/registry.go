@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	spmv "repro"
+	"repro/internal/obs"
 )
 
 // opKey identifies one compiled operator: tune options plus parallel width.
@@ -55,6 +56,12 @@ type serving struct {
 	// later promotion can evict the demoted encoding; nil when op is the
 	// symmetric operator (cached per thread count instead).
 	cacheKey *opKey
+	// roof joins each executed sweep's measured wall time with its modeled
+	// bytes. Hanging the accumulator on the snapshot makes attribution
+	// per matrix, per kernel, AND per re-tune generation for free: a
+	// promotion installs a fresh accumulator, so its achieved GB/s is
+	// never diluted by the demoted operator's history.
+	roof *obs.Roofline
 }
 
 // summary returns the snapshot's modeled per-sweep fused-path traffic.

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	spmv "repro"
+	"repro/internal/obs"
 )
 
 // retunePromoteMargin is the minimum modeled bytes-per-request improvement
@@ -87,6 +88,14 @@ type TuningReport struct {
 	// MatrixBytes is the modeled per-sweep matrix stream as served.
 	MatrixBytes int64         `json:"matrix_bytes"`
 	Events      []TuningEvent `json:"events,omitempty"`
+
+	// Measured is the roofline attribution of the current serving
+	// generation: measured sweep wall time joined with the traffic model's
+	// bytes into achieved GB/s and a ratio against RooflineGBs, the
+	// configured sustained-bandwidth reference. It resets on promotion —
+	// each generation's bandwidth is measured on its own sweeps.
+	Measured    *obs.RooflineStats `json:"measured,omitempty"`
+	RooflineGBs float64            `json:"roofline_gbs,omitempty"`
 }
 
 // Tuning returns the re-tuner's view of one registered matrix.
@@ -109,6 +118,9 @@ func (s *Server) Tuning(id string) (TuningReport, error) {
 		rep.TunedWidth = sv.width
 		rep.MatrixBytes = sv.matrixBytes
 		rep.Drift = widthDrift(sv.width, rep.ObservedMedianWidth)
+		measured := sv.roof.Stats(s.cfg.RooflineGBs)
+		rep.Measured = &measured
+		rep.RooflineGBs = s.cfg.RooflineGBs
 	}
 	e.tuneMu.Lock()
 	rep.Events = append([]TuningEvent(nil), e.events...)
@@ -244,6 +256,9 @@ func (s *Server) evaluateEntry(e *Entry) bool {
 			// sym snapshots fuse every width), so lone == fused.
 			lone:     best.traffic,
 			cacheKey: best.cacheKey,
+			// A promotion starts a fresh roofline accumulator: the new
+			// generation's achieved bandwidth is measured on its own sweeps.
+			roof: new(obs.Roofline),
 		}
 		e.cur.Store(nsv)
 		ev.Decision = "promoted"

@@ -2,12 +2,15 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	spmv "repro"
+	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Config sizes the serving subsystem.
@@ -98,6 +101,30 @@ type Config struct {
 	// the creation is rejected with ErrTooManySessions (429). <= 0 means
 	// DefaultMaxSessions.
 	MaxSessions int
+
+	// ObsSample turns on the observability layer and sets its trace
+	// sampling: 1 in ObsSample requests gets a full span trace (queue →
+	// interleave → execute → gather; per-iteration spans for solver
+	// sessions) into the trace ring behind GET /v1/traces. Latency
+	// histograms and roofline attribution record every request while the
+	// layer is on — they are a few atomic adds each. 0 disables the whole
+	// layer: the hot path then takes no timestamps at all (the
+	// benchsmoke overhead comparison's baseline). DefaultConfig uses
+	// DefaultObsSample.
+	ObsSample int
+
+	// ObsRing is the trace ring capacity (most recent sampled traces
+	// kept). <= 0 means DefaultObsRing.
+	ObsRing int
+
+	// RooflineGBs is the sustained DRAM bandwidth reference (GB/s) the
+	// roofline attribution divides achieved bandwidth by. <= 0 means the
+	// paper's AMD X2 sustained socket bandwidth (Table 4: ~6.6 GB/s).
+	RooflineGBs float64
+
+	// Logger receives the server's structured logs (request access lines,
+	// re-tune decisions, solver session lifecycle). nil discards.
+	Logger *slog.Logger
 }
 
 // DefaultRetuneDrift and DefaultRetuneMinRequests back the zero values of
@@ -124,15 +151,19 @@ func DefaultConfig() Config {
 		Adaptive:      true,
 		Deterministic: true,
 		AutoSymmetric: true,
+		ObsSample:     DefaultObsSample,
 	}
 }
 
 // Server is the SpMV serving subsystem: registry + batchers + sweep pool.
 type Server struct {
-	cfg  Config
-	reg  *Registry
-	pool *Pool
-	st   stats
+	cfg     Config
+	reg     *Registry
+	pool    *Pool
+	st      stats
+	obs     *obsState // nil when Config.ObsSample == 0
+	log     *slog.Logger
+	started time.Time
 
 	mu       sync.Mutex
 	batchers map[string]*batcher
@@ -184,10 +215,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.RooflineGBs <= 0 {
+		// The paper's reference machine: AMD X2 sustained socket bandwidth
+		// (Table 4), the bound the modeled traffic is calibrated against.
+		am := machine.AMDX2()
+		cfg.RooflineGBs = am.MemCtrl.PerSocketGBs * am.SustainedBWFracSocket
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps),
 		batchers: make(map[string]*batcher),
 		sessions: make(map[string]*solveSession),
+		obs:      newObsState(cfg),
+		log:      logger,
+		started:  time.Now(),
 	}
 	s.reg = NewRegistry(&s.st)
 	if cfg.RetuneInterval > 0 {
@@ -400,7 +444,7 @@ func (s *Server) prepare(e *Entry, opts RegisterOptions) error {
 	sv := &serving{
 		op: def, sym: def.Symmetric(), width: 1, shards: shards,
 		matrixBytes: tr.MatrixBytes, sourceBytes: tr.SourceBytes, destBytes: tr.DestBytes,
-		lone: lone,
+		lone: lone, roof: new(obs.Roofline),
 	}
 	if !sv.sym {
 		sv.cacheKey = &opKey{opts: s.cfg.Tune, threads: s.cfg.Threads}
@@ -425,7 +469,16 @@ func (s *Server) Mul(id string, x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("server: matrix %q is still compiling", id)
 	}
 	s.st.requests.Add(1)
-	return s.batcherFor(e).mul(x)
+	p := &pending{x: x, ch: make(chan mulResult, 1)}
+	if s.obs != nil {
+		p.enq = time.Now()
+		p.traced = s.obs.sampler.Sample()
+	}
+	y, err := s.batcherFor(e).mul(p)
+	if s.obs != nil && err == nil {
+		s.obs.matrix.Observe(id, time.Since(p.enq))
+	}
+	return y, err
 }
 
 func (s *Server) batcherFor(e *Entry) *batcher {
@@ -463,6 +516,11 @@ func (s *Server) recordSweep(e *Entry, sv *serving, width int, lonePath bool) {
 func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 	sv := e.cur.Load()
 	width := len(reqs)
+	o := s.obs
+	var execStart time.Time // batch formation begins; closes every queue span
+	if o != nil {
+		execStart = time.Now()
+	}
 	fail := func(err error) {
 		for _, p := range reqs {
 			p.ch <- mulResult{err: err}
@@ -476,7 +534,23 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 		var err error
 		s.pool.RunSweep([]func(){func() { y, err = sv.op.Mul(reqs[0].x) }})
 		s.recordSweep(e, sv, 1, true)
+		var execDone time.Time
+		if o != nil {
+			execDone = time.Now()
+			sv.roof.Record(execDone.Sub(execStart),
+				sweepModeledBytes(sv.lone.MatrixBytes, sv.lone.SourceBytes, sv.lone.DestBytes, 1))
+		}
 		reqs[0].ch <- mulResult{y: y, err: err}
+		if o != nil {
+			p := reqs[0]
+			o.stage.Observe(stageQueue, execStart.Sub(p.enq))
+			o.stage.Observe(stageExecute, execDone.Sub(execStart))
+			if p.traced && err == nil {
+				// The lone fast path has no interleave/gather work; zero-width
+				// spans keep the timeline tiled.
+				o.traceMul(e.ID, sv.gen, 1, p.enq, execStart, execStart, execDone, time.Now())
+			}
+		}
 		return
 	}
 
@@ -506,9 +580,19 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 	yBlock := buf.y[:e.rows*width]
 	clear(yBlock)
 
+	var interDone time.Time // batch formed; the sweep itself starts here
+	if o != nil {
+		interDone = time.Now()
+	}
 	if err := s.runFused(sv, mo, yBlock, xBlock); err != nil {
 		fail(err)
 		return
+	}
+	var execDone time.Time
+	if o != nil {
+		execDone = time.Now()
+		sv.roof.Record(execDone.Sub(interDone),
+			sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, width))
 	}
 	s.recordSweep(e, sv, width, false)
 	// Deinterleave with one sequential pass over the block.
@@ -524,6 +608,23 @@ func (s *Server) executeBatch(e *Entry, reqs []*pending) {
 	}
 	for v, p := range reqs {
 		p.ch <- mulResult{y: ys[v]}
+	}
+	if o != nil {
+		sent := time.Now()
+		for _, p := range reqs {
+			o.stage.Observe(stageQueue, execStart.Sub(p.enq))
+		}
+		// Batch-level stages are one measurement each: the work is shared
+		// across the whole batch, and per-request copies would overweight
+		// wide batches in the stage histograms.
+		o.stage.Observe(stageInterleave, interDone.Sub(execStart))
+		o.stage.Observe(stageExecute, execDone.Sub(interDone))
+		o.stage.Observe(stageGather, sent.Sub(execDone))
+		for _, p := range reqs {
+			if p.traced {
+				o.traceMul(e.ID, sv.gen, width, p.enq, execStart, interDone, execDone, sent)
+			}
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -276,6 +277,10 @@ func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	s.sessWG.Add(1)
 	s.sessMu.Unlock()
 	s.st.solveSessions.Add(1)
+	s.log.Info("solve session created",
+		slog.String("sid", ss.id), slog.String("matrix", e.ID),
+		slog.String("method", ss.method), slog.Int("max_iters", maxIters),
+		slog.Int("generation", sv.gen))
 	go s.runSolve(e, ss, req, maxIters)
 	return ss.snapshot(true), nil
 }
@@ -319,7 +324,10 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 	// fused view, sharded through the pool — exactly what a width-1
 	// deterministic Mul runs, so solver bits match serving bits and a
 	// concurrent promotion swaps in mid-solve without (in deterministic
-	// mode) moving them.
+	// mode) moving them. sweepDur accumulates the iteration's measured
+	// sweep time for the per-iteration trace; Step calls apply
+	// synchronously on this goroutine, so plain variables suffice.
+	var sweepDur time.Duration
 	apply := func(y, x []float64) error {
 		sv := e.cur.Load()
 		mo, err := fusedView(sv, 1)
@@ -327,8 +335,18 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			return err
 		}
 		clear(y)
+		var t0 time.Time
+		if s.obs != nil {
+			t0 = time.Now()
+		}
 		if err := s.runFused(sv, mo, y, x); err != nil {
 			return err
+		}
+		if s.obs != nil {
+			d := time.Since(t0)
+			sweepDur += d
+			s.obs.stage.Observe(stageSolveSweep, d)
+			sv.roof.Record(d, sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1))
 		}
 		s.recordSweep(e, sv, 1, false)
 		ss.mu.Lock()
@@ -373,8 +391,20 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			return
 		default:
 		}
+		var iterStart time.Time
+		if s.obs != nil {
+			iterStart = time.Now()
+			sweepDur = 0
+		}
 		done, err := solver.Step()
 		s.st.solveIters.Add(1)
+		if s.obs != nil {
+			wall := time.Since(iterStart)
+			s.obs.stage.Observe(stageSolveIter, wall)
+			if s.obs.sampler.Sample() {
+				s.obs.traceSolveIter(ss.method+"_iter", e.ID, e.cur.Load().gen, iterStart, sweepDur, wall)
+			}
+		}
 		ss.publish(solver)
 		if done {
 			state := solver.Status().String()
@@ -456,6 +486,10 @@ func (ss *solveSession) finish(s *Server, state, errMsg string, history []float6
 	ss.state = state
 	ss.errMsg = errMsg
 	ss.finishedAtSequence = seq
+	s.log.Info("solve session finished",
+		slog.String("sid", ss.id), slog.String("matrix", ss.matrixID),
+		slog.String("state", state), slog.Int("iters", ss.iters),
+		slog.Float64("residual", ss.residual), slog.Int("generation", ss.genLast))
 }
 
 // session looks up a resident session.

@@ -17,6 +17,10 @@
 //     (SymCSR) storage vs its general-CSR twin — the modeled matrix-stream
 //     ratio (deterministic, gated at ≈0.5) with numerical agreement
 //     enforced as a hard failure.
+//   - observability: the batched serving workload with the default
+//     instrumentation (histograms + 1-in-16 trace sampling) vs ObsSample=0
+//     (layer off, no hot-path timestamps) — the throughput ratio is gated
+//     against a committed floor encoding the ≤2% overhead budget.
 //
 // Refresh the baseline with:
 //
@@ -160,6 +164,33 @@ func servingMetrics(metrics map[string]Metric) {
 	metrics["serve_batched_speedup"] = Metric{Value: b / u, Unit: "x", HigherBetter: true}
 }
 
+// obsOverheadMetrics measures what the observability layer costs the
+// serving hot path: the same batched closed-loop workload once with
+// DefaultConfig's instrumentation on and once with ObsSample=0. Best of
+// three per side so one scheduler hiccup doesn't decide the ratio; the
+// ratio itself is emitted ungated (wall-clock) — bench_baseline.json
+// gates it against a hand-set conservative floor.
+func obsOverheadMetrics(metrics map[string]Metric) {
+	on := server.DefaultConfig()
+	on.Adaptive = false
+	off := on
+	off.ObsSample = 0
+	best := func(cfg server.Config) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			if v := serveThroughput(cfg, 8, 50); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	o := best(off)
+	i := best(on)
+	metrics["serve_obs_off_req_s"] = Metric{Value: o, Unit: "req/s"}
+	metrics["serve_obs_on_req_s"] = Metric{Value: i, Unit: "req/s"}
+	metrics["obs_overhead_ratio"] = Metric{Value: i / o, Unit: "x", HigherBetter: true}
+}
+
 // pinnedConfig is DefaultConfig with the parallel widths pinned to 1 so
 // the tuner's per-thread-block decisions — and with them the modeled
 // sweep bytes — do not vary with the runner's core count. The gated
@@ -294,6 +325,7 @@ func main() {
 	servingMetrics(metrics)
 	shardingMetrics(metrics)
 	symmetricMetrics(metrics)
+	obsOverheadMetrics(metrics)
 
 	r := Report{
 		Schema:  1,
