@@ -13,6 +13,7 @@
 //	go run ./cmd/spmv-serve -members 4 -replicas 2 -preload LP:0.1:4   # in-process fleet
 //	go run ./cmd/spmv-serve -peers http://n1:8707,http://n2:8707       # remote fleet
 //	go run ./cmd/spmv-serve -log-format json -log-level debug -pprof-addr :6060
+//	go run ./cmd/spmv-serve -sched -admit-bytes-per-sec 2e9 -tenants 'acme:5e8,batch:1e8:3e8'
 //
 // Endpoints:
 //
@@ -21,12 +22,14 @@
 //	                           + optional {"symmetric":true|false} (omitted = auto-detect)
 //	GET  /v1/matrices          list registered matrices (local and sharded)
 //	POST /v1/matrices/{id}/mul {"x":[...]} -> {"y":[...]}
+//	                           + optional {"tenant":"acme","class":"latency|standard|bulk","deadline_ms":250}
 //	GET  /v1/matrices/{id}/tuning online re-tuner state + measured-vs-modeled roofline
 //	POST /v1/matrices/{id}/solve {"method":"cg","b":[...],"tol":1e-8,"max_iters":500} -> session
+//	                           + optional {"tenant":"acme","class":"bulk"}
 //	GET  /v1/solve             list resident solver sessions
 //	GET  /v1/solve/{sid}       session state + residual history (?wait=2s blocks until done)
 //	DELETE /v1/solve/{sid}     cancel and remove a session
-//	GET  /v1/stats             JSON counters + latency percentiles (+ cluster rollup)
+//	GET  /v1/stats             JSON counters + latency percentiles (+ admission/fairness, cluster rollup)
 //	GET  /v1/cluster           shard topology
 //	GET  /v1/traces            sampled request traces (?format=chrome for trace_event JSON)
 //	GET  /v1/healthz           liveness
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	spmv "repro"
+	"repro/internal/sched"
 	"repro/internal/server"
 )
 
@@ -73,6 +77,12 @@ func main() {
 	obsSample := flag.Int("obs-sample", server.DefaultObsSample, "trace 1 in N requests into the /v1/traces ring; 0 disables the observability layer entirely")
 	obsRing := flag.Int("obs-ring", server.DefaultObsRing, "sampled-trace ring capacity")
 	rooflineGBs := flag.Float64("roofline-gbs", 0, "sustained DRAM bandwidth reference for roofline attribution, GB/s (0 = the paper's AMD X2 socket, ~6.6)")
+	schedOn := flag.Bool("sched", false, "enable the SLO class scheduler (priority + SJF + aging batch formation)")
+	defaultClass := flag.String("default-class", "standard", "SLO class for requests that do not name one: latency, standard, or bulk")
+	admitRate := flag.Float64("admit-bytes-per-sec", 0, "default per-tenant admission rate in modeled DRAM bytes/s (0 = unmetered)")
+	admitBurst := flag.Int64("admit-burst", 0, "default per-tenant admission burst in modeled bytes (0 = 2s at the rate)")
+	schedAging := flag.Duration("sched-aging", 0, "queue wait that promotes a request one SLO class, preventing bulk starvation (0 = 100ms)")
+	tenants := flag.String("tenants", "", "per-tenant admission overrides, name:bytes_per_sec[:burst] comma-separated")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug logs every request)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); keep it off the public listener")
@@ -103,12 +113,21 @@ func main() {
 	cfg.ObsRing = *obsRing
 	cfg.RooflineGBs = *rooflineGBs
 	cfg.Logger = logger
+	cfg.Sched, err = buildSchedConfig(*schedOn, *defaultClass, *admitRate, *admitBurst, *schedAging, *tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmv-serve:", err)
+		os.Exit(2)
+	}
 	s := server.New(cfg)
 	defer s.Close()
 
 	var transports []server.Transport
+	// Admission and scheduling run at the front; in-process members serve
+	// the cluster's internal shard traffic unmetered.
+	mcfg := cfg
+	mcfg.Sched = sched.Config{}
 	for i := 0; i < *members; i++ {
-		ms := server.New(cfg)
+		ms := server.New(mcfg)
 		defer ms.Close()
 		transports = append(transports, server.NewLocalTransport(fmt.Sprintf("local%d", i), ms))
 	}
@@ -157,7 +176,9 @@ func main() {
 		slog.Bool("adaptive", cfg.Adaptive),
 		slog.Bool("deterministic", cfg.Deterministic),
 		slog.Duration("retune_interval", cfg.RetuneInterval),
-		slog.Int("obs_sample", cfg.ObsSample))
+		slog.Int("obs_sample", cfg.ObsSample),
+		slog.Bool("sched", cfg.Sched.Active()),
+		slog.Bool("admission", cfg.Sched.AdmissionControlled()))
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
 		fatal(logger, "listener exited", err)
@@ -185,6 +206,55 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 func fatal(logger *slog.Logger, msg string, err error, attrs ...any) {
 	logger.Error(msg, append([]any{slog.Any("err", err)}, attrs...)...)
 	os.Exit(1)
+}
+
+// buildSchedConfig assembles the admission/scheduling config from its
+// flags. Any tenant override or a default rate implies admission even
+// without -sched; -sched alone enables class scheduling unmetered.
+func buildSchedConfig(on bool, defaultClass string, rate float64, burst int64, aging time.Duration, tenants string) (sched.Config, error) {
+	cfg := sched.Config{
+		Enabled:     on,
+		BytesPerSec: rate,
+		Burst:       burst,
+		Aging:       aging,
+	}
+	class, err := sched.ParseClass(defaultClass)
+	if err != nil {
+		return sched.Config{}, fmt.Errorf("-default-class: %w", err)
+	}
+	cfg.DefaultClass = class
+	if tenants != "" {
+		cfg.Tenants = make(map[string]sched.TenantLimit)
+		for _, spec := range strings.Split(tenants, ",") {
+			name, limit, err := parseTenant(strings.TrimSpace(spec))
+			if err != nil {
+				return sched.Config{}, fmt.Errorf("-tenants %q: %w", spec, err)
+			}
+			cfg.Tenants[name] = limit
+		}
+	}
+	return cfg, nil
+}
+
+// parseTenant splits one name:bytes_per_sec[:burst] tenant spec.
+func parseTenant(spec string) (string, sched.TenantLimit, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+		return "", sched.TenantLimit{}, fmt.Errorf("want name:bytes_per_sec[:burst]")
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || rate < 0 {
+		return "", sched.TenantLimit{}, fmt.Errorf("bad rate %q", parts[1])
+	}
+	limit := sched.TenantLimit{BytesPerSec: rate}
+	if len(parts) == 3 {
+		burst, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || burst < 0 {
+			return "", sched.TenantLimit{}, fmt.Errorf("bad burst %q", parts[2])
+		}
+		limit.Burst = int64(burst)
+	}
+	return parts[0], limit, nil
 }
 
 // preloadOne registers one name[:scale[:shards]] preload spec.

@@ -1,0 +1,25 @@
+package sched
+
+// JainIndex returns Jain's fairness index over per-tenant allocations
+// (served modeled bytes): (Σx)² / (n·Σx²). It is 1 when every tenant
+// received an equal share, and approaches 1/n as one tenant takes
+// everything — the scalar the serving layer reports so "is the byte
+// budget actually being shared?" is one number, not a table. Allocations
+// must be non-negative; an empty or all-zero set reports 1 (nothing was
+// served, nothing was unfair).
+func JainIndex(alloc []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range alloc {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Gate orders sweep execution by SLO policy. It owns a fixed number of
+// execution slots (the server's concurrent-sweep bound): a job acquires
+// a slot before running and releases it after. When every slot is busy,
+// waiters queue and each Release picks the next job by
+//
+//  1. effective class — the job's SLO class minus one per aging period
+//     waited (the starvation escalator: a bulk job that has waited two
+//     aging periods competes as latency, and keeps escalating, so no
+//     sustained higher-class load can hold it off forever);
+//  2. job size — shortest first, in modeled bytes (SJF minimizes mean
+//     wait inside a class, and small interactive sweeps never queue
+//     behind a wide bulk fusion of equal class);
+//  3. arrival order — FIFO among equals.
+//
+// The selection scan is O(waiters); waiters are bounded by the server's
+// in-flight request concurrency, and the scan only runs when the gate is
+// saturated — the uncontended path is one mutex acquire per sweep.
+type Gate struct {
+	mu    sync.Mutex
+	free  int // slots not currently held
+	aging time.Duration
+	seq   uint64
+	wait  []*gateJob
+	now   func() time.Time // injectable clock for tests
+
+	queuedByClass [NumClasses]int64 // modeled bytes waiting, per class
+}
+
+type gateJob struct {
+	class Class
+	bytes int64
+	enq   time.Time
+	seq   uint64
+	ready chan struct{}
+}
+
+// NewGate returns a gate with the given number of execution slots
+// (minimum 1) and aging period (DefaultAging when <= 0).
+func NewGate(slots int, aging time.Duration) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if aging <= 0 {
+		aging = DefaultAging
+	}
+	return &Gate{free: slots, aging: aging, now: time.Now}
+}
+
+// Acquire blocks until the job holds an execution slot, or cancel closes
+// first; it reports whether the slot was acquired. class and bytes are
+// the job's scheduling key (SLO class and modeled-byte size). Every
+// successful Acquire must be paired with exactly one Release.
+func (g *Gate) Acquire(class Class, bytes int64, cancel <-chan struct{}) bool {
+	g.mu.Lock()
+	if g.free > 0 && len(g.wait) == 0 {
+		g.free--
+		g.mu.Unlock()
+		return true
+	}
+	j := &gateJob{class: class, bytes: bytes, enq: g.now(), seq: g.seq, ready: make(chan struct{})}
+	g.seq++
+	g.wait = append(g.wait, j)
+	g.queuedByClass[clampClass(class)] += bytes
+	g.mu.Unlock()
+
+	if cancel == nil {
+		<-j.ready
+		return true
+	}
+	select {
+	case <-j.ready:
+		return true
+	case <-cancel:
+		g.mu.Lock()
+		// The dispatch may have raced the cancellation: once ready is
+		// closed the job holds a slot and must keep it (the caller will
+		// not Release after a false return).
+		select {
+		case <-j.ready:
+			g.mu.Unlock()
+			return true
+		default:
+		}
+		g.removeLocked(j)
+		g.mu.Unlock()
+		return false
+	}
+}
+
+// Release returns a slot and dispatches the best waiting job, if any.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	if len(g.wait) == 0 {
+		g.free++
+		g.mu.Unlock()
+		return
+	}
+	best := g.pickLocked(g.now())
+	g.removeLocked(best)
+	close(best.ready) // hand the slot straight to the winner
+	g.mu.Unlock()
+}
+
+// pickLocked selects the next job by (effective class, bytes, seq).
+// Effective class is not clamped below zero: a job that has waited long
+// enough outranks even fresh latency work, which is what makes the
+// escalator a guarantee rather than a tie-break.
+func (g *Gate) pickLocked(now time.Time) *gateJob {
+	best := g.wait[0]
+	bestEff := g.effClassLocked(best, now)
+	for _, j := range g.wait[1:] {
+		eff := g.effClassLocked(j, now)
+		if eff < bestEff ||
+			(eff == bestEff && (j.bytes < best.bytes ||
+				(j.bytes == best.bytes && j.seq < best.seq))) {
+			best, bestEff = j, eff
+		}
+	}
+	return best
+}
+
+func (g *Gate) effClassLocked(j *gateJob, now time.Time) int {
+	return int(j.class) - int(now.Sub(j.enq)/g.aging)
+}
+
+func (g *Gate) removeLocked(victim *gateJob) {
+	for i, j := range g.wait {
+		if j == victim {
+			g.wait = append(g.wait[:i], g.wait[i+1:]...)
+			g.queuedByClass[clampClass(j.class)] -= j.bytes
+			return
+		}
+	}
+}
+
+func clampClass(c Class) Class {
+	if c < 0 {
+		return 0
+	}
+	if c >= NumClasses {
+		return NumClasses - 1
+	}
+	return c
+}
+
+// QueuedBytes returns the modeled bytes currently waiting at the gate,
+// per class.
+func (g *Gate) QueuedBytes() [NumClasses]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queuedByClass
+}
+
+// Waiting returns the number of queued jobs.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.wait)
+}

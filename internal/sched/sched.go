@@ -1,0 +1,146 @@
+// Package sched is the SLO-aware multi-tenant admission and scheduling
+// layer of the serving subsystem. The paper's roofline argument says SpMV
+// throughput is a fixed memory-bandwidth budget: a node sustains at most
+// BW / bytes-per-sweep sweeps per second, no matter how clever the
+// kernels are. A server fronting millions of users therefore cannot just
+// spend that budget FIFO — it has to allocate it. This package provides
+// the three allocation mechanisms, all denominated in the modeled DRAM
+// bytes of internal/traffic (the currency the roofline says actually
+// matters):
+//
+//   - Token-bucket admission (Bucket): each tenant holds a bucket
+//     refilled in modeled bytes per second with a burst cap. A request
+//     whose modeled cost exceeds the tenant's balance is rejected up
+//     front — with how long to wait — instead of joining a queue it
+//     would only congest.
+//
+//   - Priority scheduling (Gate): admitted work executes in strict
+//     SLO-class order (latency before standard before bulk), with
+//     shortest-job-first inside a class (job size = modeled bytes), and
+//     an aging escalator that promotes any job one class per aging
+//     period waited — so sustained latency-class load cannot starve
+//     bulk work forever.
+//
+//   - Fairness measurement (JainIndex): the canonical scalar summary of
+//     how evenly the byte budget was actually split across tenants.
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is an SLO class: the request's latency sensitivity, and with it
+// its strict scheduling priority (lower value = served first).
+type Class int
+
+const (
+	// Latency marks interactive traffic: served before everything else.
+	Latency Class = iota
+	// Standard is the default class for unlabelled traffic.
+	Standard
+	// Bulk marks throughput-oriented background work: served last, but
+	// protected from starvation by the aging escalator.
+	Bulk
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"latency", "standard", "bulk"}
+
+// String returns the class's wire name ("latency", "standard", "bulk").
+func (c Class) String() string {
+	if c < 0 || c >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ParseClass maps a wire name to its Class. The empty string is not a
+// class — callers apply their configured default before parsing.
+func ParseClass(s string) (Class, error) {
+	for c, name := range classNames {
+		if s == name {
+			return Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown SLO class %q (want latency, standard, or bulk)", s)
+}
+
+// TenantLimit overrides the default admission budget for one tenant.
+type TenantLimit struct {
+	// BytesPerSec is the tenant's bucket refill rate in modeled bytes per
+	// second. <= 0 inherits the config default.
+	BytesPerSec float64
+	// Burst is the bucket capacity in modeled bytes. <= 0 inherits the
+	// config default.
+	Burst int64
+}
+
+// Config selects which of the layer's mechanisms are active and sizes
+// them. The zero value disables everything: no buckets, no priority
+// gate, requests flow exactly as they did without the layer.
+type Config struct {
+	// Enabled turns on priority scheduling: sweep execution is ordered by
+	// SLO class / shortest-job-first / aging instead of arrival order.
+	Enabled bool
+	// DefaultClass is applied to requests that name no class.
+	DefaultClass Class
+	// BytesPerSec is the default per-tenant token-bucket refill rate in
+	// modeled bytes per second. <= 0 disables admission control (every
+	// request admitted) unless a tenant has an explicit TenantLimit.
+	BytesPerSec float64
+	// Burst is the default bucket capacity in modeled bytes. <= 0 means
+	// DefaultBurstSeconds worth of refill.
+	Burst int64
+	// Aging is the starvation escalator period: a queued job is promoted
+	// one class per Aging waited. <= 0 means DefaultAging.
+	Aging time.Duration
+	// Tenants holds per-tenant admission overrides, keyed by tenant id.
+	Tenants map[string]TenantLimit
+}
+
+// DefaultAging is the aging escalator period when Config.Aging is unset:
+// long against a single sweep (so strict priority really holds under
+// transient bursts) but short against a human timeout (so bulk work
+// waits milliseconds, not minutes, under sustained latency-class load).
+const DefaultAging = 100 * time.Millisecond
+
+// DefaultBurstSeconds sizes the default bucket capacity when
+// Config.Burst is unset: this many seconds of refill.
+const DefaultBurstSeconds = 2
+
+// AdmissionControlled reports whether any tenant is subject to
+// token-bucket admission under this config.
+func (c Config) AdmissionControlled() bool {
+	if c.BytesPerSec > 0 {
+		return true
+	}
+	for _, t := range c.Tenants {
+		if t.BytesPerSec > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the layer does anything at all.
+func (c Config) Active() bool { return c.Enabled || c.AdmissionControlled() }
+
+// LimitFor resolves the effective (rate, burst) for one tenant: its
+// override where set, the config defaults otherwise.
+func (c Config) LimitFor(tenant string) (bytesPerSec float64, burst int64) {
+	bytesPerSec, burst = c.BytesPerSec, c.Burst
+	if t, ok := c.Tenants[tenant]; ok {
+		if t.BytesPerSec > 0 {
+			bytesPerSec = t.BytesPerSec
+		}
+		if t.Burst > 0 {
+			burst = t.Burst
+		}
+	}
+	if burst <= 0 {
+		burst = int64(DefaultBurstSeconds * bytesPerSec)
+	}
+	return bytesPerSec, burst
+}

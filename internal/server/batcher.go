@@ -16,12 +16,19 @@ type mulResult struct {
 // traced are the observability layer's per-request state (zero when the
 // layer is off): enq anchors the queue-wait span and the per-matrix
 // latency histogram, traced marks the requests the sampler picked for a
-// full span trace.
+// full span trace. acct/cost/deadline are the scheduling layer's state:
+// the tenant ledger holding the request's queued bytes (nil when
+// admission is off), the modeled byte cost it was admitted at, and the
+// absolute instant after which it must fail instead of execute (zero
+// when none).
 type pending struct {
-	x      []float64
-	ch     chan mulResult
-	enq    time.Time
-	traced bool
+	x        []float64
+	ch       chan mulResult
+	enq      time.Time
+	traced   bool
+	acct     *tenantAccount
+	cost     int64
+	deadline time.Time
 }
 
 // openBatch is a batch still accepting joiners. reqs is guarded by the

@@ -103,7 +103,7 @@ func TestClusterHTTPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decode[statsResponse](t, stResp)
+	st := decode[StatsReport](t, stResp)
 	if st.Cluster == nil {
 		t.Fatal("stats missing cluster rollup")
 	}

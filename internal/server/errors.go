@@ -25,4 +25,12 @@ var (
 	// ErrTooManySessions: the resident-session cap is reached and every
 	// session is still running (429).
 	ErrTooManySessions = errors.New("server: too many solve sessions")
+	// ErrAdmissionLimited: the tenant's token bucket cannot cover the
+	// request's modeled cost yet (429 with Retry-After). Errors carrying
+	// this classification are *AdmissionError values holding the tenant
+	// and the bucket's refill estimate.
+	ErrAdmissionLimited = errors.New("server: admission limited")
+	// ErrDeadlineExceeded: the request's deadline expired while it was
+	// queued, so it was shed instead of executed (504).
+	ErrDeadlineExceeded = errors.New("server: deadline exceeded")
 )

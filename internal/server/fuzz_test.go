@@ -110,6 +110,120 @@ func TestRegisterFuzzSeedsStatuses(t *testing.T) {
 	}
 }
 
+// FuzzMulJSON exercises the POST /v1/matrices/{id}/mul payload path —
+// the x vector plus the request options (tenant, class, deadline_ms)
+// and the strict unknown-field decoding — against arbitrary bodies: the
+// handler must never panic and must answer 200 or an error status with
+// the uniform JSON error envelope.
+func FuzzMulJSON(f *testing.F) {
+	// Well-formed requests: bare, and every option populated.
+	f.Add(`{"x":[1,2,3,4]}`)
+	f.Add(`{"x":[1,2,3,4],"tenant":"acme","class":"latency"}`)
+	f.Add(`{"x":[1,2,3,4],"tenant":"acme","class":"standard","deadline_ms":5000}`)
+	f.Add(`{"x":[0,0,0,0],"class":"bulk"}`)
+	// Option validation: unknown class, negative deadline, typo'd field
+	// names (DisallowUnknownFields), wrong option types.
+	f.Add(`{"x":[1,2,3,4],"class":"interactive"}`)
+	f.Add(`{"x":[1,2,3,4],"deadline_ms":-1}`)
+	f.Add(`{"x":[1,2,3,4],"tennant":"acme"}`)
+	f.Add(`{"x":[1,2,3,4],"clas":"latency"}`)
+	f.Add(`{"x":[1,2,3,4],"tenant":7}`)
+	f.Add(`{"x":[1,2,3,4],"deadline_ms":"soon"}`)
+	// Vector shape and type breakage.
+	f.Add(`{"x":[1,2]}`)
+	f.Add(`{"x":[]}`)
+	f.Add(`{"x":[null,2,3,4]}`)
+	f.Add(`{"x":["a",2,3,4]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`"x"`)
+	f.Add(`{"x":[1,2,3,4]`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cfg := DefaultConfig()
+		cfg.Threads = 1
+		cfg.Workers = 1
+		cfg.MaxBatch = 1
+		cfg.MaxBodyBytes = 1 << 16
+		s := New(cfg)
+		defer s.Close()
+		m := spmv.NewMatrix(4, 4)
+		for i := 0; i < 4; i++ {
+			_ = m.Set(i, i, 2)
+			if i > 0 {
+				_ = m.Set(i, i-1, -1)
+				_ = m.Set(i-1, i, -1)
+			}
+		}
+		if _, err := s.Register("a", "tiny", m); err != nil {
+			t.Fatal(err)
+		}
+
+		req := httptest.NewRequest("POST", "/v1/matrices/a/mul", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		code := rec.Code
+		if code != 200 && (code < 400 || code > 599) {
+			t.Fatalf("status %d for body %q, want 200 or an error status", code, body)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("non-JSON response %q for body %q: %v", rec.Body.String(), body, err)
+		}
+		if code == 200 {
+			if _, ok := parsed["y"]; !ok {
+				t.Fatalf("200 response without y: %q", rec.Body.String())
+			}
+		} else if _, ok := parsed["error"]; !ok {
+			t.Fatalf("error status %d without an error field: %q", code, rec.Body.String())
+		}
+	})
+}
+
+// TestMulFuzzSeedsStatuses pins the documented status codes of the
+// structured mul seed payloads.
+func TestMulFuzzSeedsStatuses(t *testing.T) {
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"x":[1,2,3,4]}`, 200},
+		{`{"x":[1,2,3,4],"tenant":"acme","class":"latency"}`, 200},
+		{`{"x":[1,2,3,4],"tenant":"acme","class":"standard","deadline_ms":5000}`, 200},
+		{`{"x":[1,2,3,4],"class":"interactive"}`, 400},
+		{`{"x":[1,2,3,4],"deadline_ms":-1}`, 400},
+		{`{"x":[1,2,3,4],"tennant":"acme"}`, 400},
+		{`{"x":[1,2]}`, 400},
+		{`{"x":[1,2,3,4]`, 400},
+		{`{}`, 400},
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.Workers = 1
+	s := New(cfg)
+	defer s.Close()
+	m := spmv.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		_ = m.Set(i, i, 2)
+		if i > 0 {
+			_ = m.Set(i, i-1, -1)
+			_ = m.Set(i-1, i, -1)
+		}
+	}
+	if _, err := s.Register("a", "tiny", m); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("POST", "/v1/matrices/a/mul", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}
+
 // FuzzSolveJSON exercises the POST /v1/matrices/{id}/solve payload path —
 // method selection, tolerance/budget validation, vector shape checks —
 // against arbitrary bodies: the handler must never panic, must answer 201

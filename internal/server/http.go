@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	spmv "repro"
 	"repro/internal/obs"
@@ -49,14 +51,83 @@ type registerRequest struct {
 
 type mulRequest struct {
 	X []float64 `json:"x"`
+	// Tenant and Class are the request's admission identity (empty means
+	// the default tenant / the server's default class); DeadlineMS bounds
+	// its time in the serving layer in milliseconds (0 means none). See
+	// MulOptions.
+	Tenant     string `json:"tenant,omitempty"`
+	Class      string `json:"class,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 }
 
 type mulResponse struct {
 	Y []float64 `json:"y"`
 }
 
+// errorBody is the uniform machine-readable error payload every handler
+// returns: a stable snake_case code (mapped from the server's sentinel
+// errors, or from the status class when no sentinel applies) plus the
+// human-readable message. Clients branch on code, humans read message.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+// errorCode maps an error (by sentinel classification) and its HTTP
+// status to the envelope's stable code string.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownMatrix):
+		return "unknown_matrix"
+	case errors.Is(err, ErrAlreadyRegistered):
+		return "already_registered"
+	case errors.Is(err, ErrNotSymmetric):
+		return "not_symmetric"
+	case errors.Is(err, ErrMemberFault):
+		return "member_fault"
+	case errors.Is(err, ErrUnknownSession):
+		return "unknown_session"
+	case errors.Is(err, ErrTooManySessions):
+		return "too_many_sessions"
+	case errors.Is(err, ErrAdmissionLimited):
+		return "admission_limited"
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline_exceeded"
+	}
+	switch status {
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	case http.StatusGatewayTimeout:
+		return "gateway_timeout"
+	default:
+		return "bad_request"
+	}
+}
+
+// setRetryAfter surfaces an AdmissionError's refill estimate as the
+// standard Retry-After header (whole seconds, minimum 1).
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		return
+	}
+	secs := int64(math.Ceil(ae.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // Handler returns the HTTP API of the serving subsystem:
@@ -77,9 +148,13 @@ type errorResponse struct {
 //	GET  /metrics                 Prometheus text exposition: counters, gauges, latency histograms
 //
 // Every route is wrapped by the instrumentation middleware: request ids,
-// structured access logs, and per-endpoint latency histograms.
+// structured access logs, and per-endpoint latency histograms. Every
+// error response — including requests that match no route, which the
+// catch-all turns into a JSON 404 — carries the uniform envelope
+// {"error":{"code","message"}}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleNotFound)
 	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
 	mux.HandleFunc("GET /v1/matrices", s.handleList)
 	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
@@ -104,15 +179,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	writeJSON(w, code, errorResponse{Error: errorBody{
+		Code:    errorCode(code, err),
+		Message: err.Error(),
+	}})
+}
+
+// handleNotFound is the catch-all for requests matching no route, so
+// even a typo'd path gets the JSON error envelope rather than the text
+// default. (It also catches known paths hit with the wrong method —
+// those answer 404, not 405, which the API accepts for uniformity.)
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
 }
 
 // decodeBody decodes a JSON request body under the server's size cap,
 // reporting whether decoding succeeded; on failure the 400/413 response
-// has already been written.
+// has already been written. Unknown fields are rejected: a typo'd option
+// name ("tennant") fails loudly with 400 instead of silently running
+// with defaults.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -254,12 +344,24 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative deadline_ms %d", req.DeadlineMS))
+		return
+	}
+	opts := MulOptions{
+		Tenant:   req.Tenant,
+		Class:    req.Class,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	}
 	var y []float64
 	var err error
 	if s.cluster != nil && s.cluster.Has(id) {
+		// Sharded Muls scatter to member nodes, whose own servers admit
+		// the band sub-requests; the coordinator path itself is not
+		// admission-controlled.
 		y, err = s.cluster.Mul(id, req.X)
 	} else {
-		y, err = s.Mul(id, req.X)
+		y, err = s.MulOpts(id, req.X, opts)
 	}
 	if err != nil {
 		code := http.StatusBadRequest
@@ -271,6 +373,11 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusBadGateway
 		case errors.Is(err, ErrUnknownMatrix):
 			code = http.StatusNotFound
+		case errors.Is(err, ErrAdmissionLimited):
+			code = http.StatusTooManyRequests
+			setRetryAfter(w, err)
+		case errors.Is(err, ErrDeadlineExceeded):
+			code = http.StatusGatewayTimeout
 		}
 		writeError(w, code, err)
 		return
@@ -291,24 +398,36 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// statsResponse is /v1/stats: the local serving counters, the measured
-// latency percentiles (per endpoint, per stage, per matrix), plus the
-// cluster rollup when this server fronts a shard coordinator. The
-// embedded Stats keeps the flat single-node schema stable for existing
+// StatsReport is /v1/stats: the local serving counters, the measured
+// latency percentiles (per endpoint, per stage, per matrix, per SLO
+// class), the admission-and-scheduling ledgers (per tenant, per class,
+// Jain fairness) when the scheduling layer is on, plus the cluster
+// rollup when this server fronts a shard coordinator. The embedded
+// Stats keeps the flat single-node schema stable for existing
 // consumers.
-type statsResponse struct {
+type StatsReport struct {
 	Stats
-	Latency *LatencyReport `json:"latency,omitempty"`
-	Cluster *ClusterStats  `json:"cluster,omitempty"`
+	Latency   *LatencyReport   `json:"latency,omitempty"`
+	Admission *AdmissionReport `json:"admission,omitempty"`
+	Cluster   *ClusterStats    `json:"cluster,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := statsResponse{Stats: s.Stats(), Latency: s.Latency()}
+// StatsReport assembles the full /v1/stats document.
+func (s *Server) StatsReport() StatsReport {
+	rep := StatsReport{Stats: s.Stats(), Latency: s.Latency(), Admission: s.Admission()}
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
-		resp.Cluster = &cs
+		rep.Cluster = &cs
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return rep
+}
+
+// StatsReport returns the in-process client's view of the full stats
+// document (counters, latency, admission, cluster).
+func (c *Client) StatsReport() StatsReport { return c.s.StatsReport() }
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsReport())
 }
 
 // clusterResponse is GET /v1/cluster: the shard topology.
@@ -400,6 +519,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			s.obs.stage.Series("stage"))
 		e.HistogramFamily("spmv_serve_mul_duration_seconds",
 			"Mul latency by matrix, admission to reply.", s.obs.matrix.Series("id"))
+		e.HistogramFamily("spmv_serve_class_duration_seconds",
+			"Mul latency by SLO class, admission to reply (failures included).",
+			s.obs.class.Series("class"))
+	}
+
+	if rep := s.Admission(); rep != nil {
+		var served, rejected, servedBytes, queued []obs.Sample
+		for name, ts := range rep.Tenants {
+			l := map[string]string{"tenant": name}
+			served = append(served, obs.Sample{Labels: l, Value: float64(ts.ServedRequests)})
+			rejected = append(rejected, obs.Sample{Labels: l, Value: float64(ts.RejectedRequests)})
+			servedBytes = append(servedBytes, obs.Sample{Labels: l, Value: float64(ts.ServedBytes)})
+			queued = append(queued, obs.Sample{Labels: l, Value: float64(ts.QueuedBytes)})
+		}
+		e.CounterVec("spmv_sched_tenant_served_requests_total", "Requests (and solve sessions) served, by tenant.", served)
+		e.CounterVec("spmv_sched_tenant_rejected_requests_total", "Requests rejected by the tenant's token bucket.", rejected)
+		e.CounterVec("spmv_sched_tenant_served_bytes_total", "Modeled DRAM bytes executed, by tenant (the Jain allocations).", servedBytes)
+		e.GaugeVec("spmv_sched_tenant_queued_bytes", "Modeled bytes admitted but not yet executing, by tenant.", queued)
+		var cServed, cRejected, cExpired, cQueued []obs.Sample
+		for name, cs := range rep.Classes {
+			l := map[string]string{"class": name}
+			cServed = append(cServed, obs.Sample{Labels: l, Value: float64(cs.ServedRequests)})
+			cRejected = append(cRejected, obs.Sample{Labels: l, Value: float64(cs.RejectedRequests)})
+			cExpired = append(cExpired, obs.Sample{Labels: l, Value: float64(cs.ExpiredRequests)})
+			cQueued = append(cQueued, obs.Sample{Labels: l, Value: float64(cs.QueuedBytes)})
+		}
+		e.CounterVec("spmv_sched_class_served_requests_total", "Requests served, by SLO class.", cServed)
+		e.CounterVec("spmv_sched_class_rejected_requests_total", "Requests rejected at admission, by SLO class.", cRejected)
+		e.CounterVec("spmv_sched_class_expired_requests_total", "Requests shed on an expired deadline, by SLO class.", cExpired)
+		e.GaugeVec("spmv_sched_class_queued_bytes", "Modeled bytes waiting at the priority gate, by SLO class.", cQueued)
+		e.Gauge("spmv_sched_jain_fairness", "Jain fairness index over per-tenant served modeled bytes.", rep.JainFairness)
 	}
 
 	if s.cluster != nil {

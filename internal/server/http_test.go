@@ -186,8 +186,8 @@ func TestHTTPAmbiguousSource(t *testing.T) {
 			t.Errorf("ambiguous register status %d, want 400", resp.StatusCode)
 		}
 		e := decode[errorResponse](t, resp)
-		if !strings.Contains(e.Error, "exactly one") {
-			t.Errorf("ambiguous register error %q", e.Error)
+		if !strings.Contains(e.Error.Message, "exactly one") {
+			t.Errorf("ambiguous register error %q", e.Error.Message)
 		}
 	}
 }

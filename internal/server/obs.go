@@ -44,6 +44,7 @@ type obsState struct {
 	endpoint obs.Vec // HTTP endpoint -> request latency (decode/encode included)
 	stage    obs.Vec // pipeline stage -> latency
 	matrix   obs.Vec // matrix id -> Mul latency (queue through gather)
+	class    obs.Vec // SLO class -> Mul latency, failures included
 }
 
 func newObsState(cfg Config) *obsState {
@@ -177,6 +178,11 @@ type LatencyReport struct {
 	Endpoint map[string]obs.HistStats `json:"endpoint,omitempty"`
 	Stage    map[string]obs.HistStats `json:"stage,omitempty"`
 	Matrix   map[string]obs.HistStats `json:"matrix,omitempty"`
+	// Class is Mul latency per SLO class, failures (deadline misses)
+	// included — the per-class p50/p99 surface the SLO scheduler is
+	// judged by. Recorded whenever observability is on, scheduler or
+	// not, so a FIFO server reports the comparison baseline.
+	Class map[string]obs.HistStats `json:"class,omitempty"`
 }
 
 // Latency summarizes the measured-latency histograms. Nil when
@@ -189,6 +195,7 @@ func (s *Server) Latency() *LatencyReport {
 		Endpoint: s.obs.endpoint.Stats(),
 		Stage:    s.obs.stage.Stats(),
 		Matrix:   s.obs.matrix.Stats(),
+		Class:    s.obs.class.Stats(),
 	}
 }
 

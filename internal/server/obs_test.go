@@ -56,7 +56,7 @@ func TestStatsLatencyPercentiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decode[statsResponse](t, stResp)
+	st := decode[StatsReport](t, stResp)
 	if st.Latency == nil {
 		t.Fatal("stats response has no latency section")
 	}
@@ -343,7 +343,7 @@ func TestObsDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := decode[statsResponse](t, stResp)
+	st := decode[StatsReport](t, stResp)
 	if st.Latency != nil {
 		t.Fatalf("latency section present with obs disabled: %+v", st.Latency)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	spmv "repro"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Config sizes the serving subsystem.
@@ -122,6 +124,15 @@ type Config struct {
 	// paper's AMD X2 sustained socket bandwidth (Table 4: ~6.6 GB/s).
 	RooflineGBs float64
 
+	// Sched configures SLO-aware multi-tenant admission and scheduling
+	// (see internal/sched): per-tenant token buckets denominated in
+	// modeled bytes/s gate admission with 429 + Retry-After, and the
+	// priority gate orders sweep execution by SLO class with
+	// shortest-job-first and an aging escalator. The zero value disables
+	// the whole layer — requests run FIFO and unmetered, exactly as
+	// before the layer existed.
+	Sched sched.Config
+
 	// Logger receives the server's structured logs (request access lines,
 	// re-tune decisions, solver session lifecycle). nil discards.
 	Logger *slog.Logger
@@ -161,12 +172,13 @@ type Server struct {
 	reg     *Registry
 	pool    *Pool
 	st      stats
-	obs     *obsState // nil when Config.ObsSample == 0
+	obs     *obsState   // nil when Config.ObsSample == 0
+	sched   *schedState // nil when Config.Sched is inactive
 	log     *slog.Logger
 	started time.Time
 
 	mu       sync.Mutex
-	batchers map[string]*batcher
+	batchers map[batcherKey]*batcher
 
 	// cluster, when attached, makes this server the front of a sharded
 	// fleet: registrations with shards >= 2 and Muls against sharded ids
@@ -225,11 +237,19 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	// The gate owns the same slot count the pool's sweep semaphore
+	// enforces, so the gate is the single queueing point: a job that
+	// holds a gate slot never blocks again at the pool.
+	gateSlots := cfg.MaxConcurrentSweeps
+	if gateSlots <= 0 {
+		gateSlots = cfg.Workers
+	}
 	s := &Server{
 		cfg: cfg, pool: NewPool(cfg.Workers, cfg.MaxConcurrentSweeps),
-		batchers: make(map[string]*batcher),
+		batchers: make(map[batcherKey]*batcher),
 		sessions: make(map[string]*solveSession),
 		obs:      newObsState(cfg),
+		sched:    newSchedState(cfg.Sched, gateSlots),
 		log:      logger,
 		started:  time.Now(),
 	}
@@ -453,11 +473,26 @@ func (s *Server) prepare(e *Entry, opts RegisterOptions) error {
 	return nil
 }
 
-// Mul computes y = A·x for the registered matrix id. Concurrent calls
-// against the same matrix may be coalesced into one fused multi-RHS sweep;
-// results are identical to independent execution (the kernels are
-// deterministic and each request keeps its own vector slot).
+// Mul computes y = A·x for the registered matrix id as the default
+// tenant and class with no deadline.
+//
+// Deprecated: use MulOpts, which carries the request's tenant, SLO
+// class, and deadline. Mul remains for existing callers and is exactly
+// MulOpts with zero options.
 func (s *Server) Mul(id string, x []float64) ([]float64, error) {
+	return s.MulOpts(id, x, MulOptions{})
+}
+
+// MulOpts computes y = A·x for the registered matrix id under the
+// request options: the tenant's token bucket admits or rejects the
+// request (ErrAdmissionLimited carries the retry estimate), the SLO
+// class orders its sweep at the priority gate, and an expired deadline
+// fails it with ErrDeadlineExceeded instead of executing. Concurrent
+// same-class calls against the same matrix may be coalesced into one
+// fused multi-RHS sweep; results are identical to independent execution
+// (the kernels are deterministic and each request keeps its own vector
+// slot).
+func (s *Server) MulOpts(id string, x []float64, opts MulOptions) ([]float64, error) {
 	e, err := s.reg.Get(id)
 	if err != nil {
 		return nil, err
@@ -465,30 +500,73 @@ func (s *Server) Mul(id string, x []float64) ([]float64, error) {
 	if len(x) != e.cols {
 		return nil, fmt.Errorf("server: matrix %q is %dx%d, len(x)=%d", id, e.rows, e.cols, len(x))
 	}
-	if e.cur.Load() == nil {
+	sv := e.cur.Load()
+	if sv == nil {
 		return nil, fmt.Errorf("server: matrix %q is still compiling", id)
 	}
-	s.st.requests.Add(1)
+	class, err := s.resolveClass(opts.Class)
+	if err != nil {
+		return nil, err
+	}
 	p := &pending{x: x, ch: make(chan mulResult, 1)}
+	// The admission cost is the request's single-RHS modeled sweep bytes.
+	// Fusion makes the actual cost cheaper (the matrix streams once per
+	// batch), so the buckets meter the demand a tenant presents, not the
+	// discount coalescing happens to find.
+	p.cost = sv.matrixBytes + sv.sourceBytes + sv.destBytes
+	if sc := s.sched; sc != nil {
+		p.acct, err = sc.admit(opts.Tenant, class, p.cost)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Deadline > 0 {
+		p.deadline = time.Now().Add(opts.Deadline)
+	}
+	s.st.requests.Add(1)
 	if s.obs != nil {
 		p.enq = time.Now()
 		p.traced = s.obs.sampler.Sample()
 	}
-	y, err := s.batcherFor(e).mul(p)
-	if s.obs != nil && err == nil {
-		s.obs.matrix.Observe(id, time.Since(p.enq))
+	y, err := s.batcherFor(e, class).mul(p)
+	if err == nil {
+		if sc := s.sched; sc != nil && p.acct != nil {
+			sc.complete(p.acct, class, p.cost)
+		}
+	} else if s.sched != nil && errors.Is(err, ErrDeadlineExceeded) {
+		s.sched.classes[class].expired.Add(1)
+	}
+	if s.obs != nil {
+		lat := time.Since(p.enq)
+		if err == nil {
+			s.obs.matrix.Observe(id, lat)
+		}
+		// Class latency records failures too (a deadline miss IS the
+		// class's latency story), and independently of scheduling, so a
+		// FIFO server still reports per-class percentiles to compare.
+		s.obs.class.Observe(class.String(), lat)
 	}
 	return y, err
 }
 
-func (s *Server) batcherFor(e *Entry) *batcher {
+// batcherKey separates batchers by matrix and SLO class: a batch is a
+// single scheduling unit at the gate, so mixing classes inside one would
+// let bulk work ride a latency batch's priority (or worse, drag a
+// latency request behind a bulk batch).
+type batcherKey struct {
+	id    string
+	class sched.Class
+}
+
+func (s *Server) batcherFor(e *Entry, class sched.Class) *batcher {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.batchers[e.ID]
+	key := batcherKey{id: e.ID, class: class}
+	b, ok := s.batchers[key]
 	if !ok {
 		b = newBatcher(s.cfg.MaxBatch, s.cfg.BatchWindow, s.cfg.Adaptive,
-			func(reqs []*pending) { s.executeBatch(e, reqs) })
-		s.batchers[e.ID] = b
+			func(reqs []*pending) { s.executeBatch(e, class, reqs) })
+		s.batchers[key] = b
 	}
 	return b
 }
@@ -513,7 +591,38 @@ func (s *Server) recordSweep(e *Entry, sv *serving, width int, lonePath bool) {
 // snapshot loaded up front, so a concurrent re-tune promotion never
 // mixes operators within a sweep — in-flight sweeps drain on the
 // snapshot they started with.
-func (s *Server) executeBatch(e *Entry, reqs []*pending) {
+//
+// When the priority gate is on, the batch first acquires an execution
+// slot under its SLO class and total modeled bytes — this wait, not the
+// pool's sweep semaphore, is where cross-class ordering happens. Requests
+// whose deadline expired while the batch waited are failed here, after
+// the wait and before the sweep, so a saturated server sheds exactly the
+// work that can no longer meet its SLO.
+func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
+	if sc := s.sched; sc != nil && sc.gate != nil {
+		if sv := e.cur.Load(); sv != nil {
+			bytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, len(reqs))
+			sc.gate.Acquire(class, bytes, nil)
+			defer sc.gate.Release()
+		}
+	}
+	// The batch is executing: its bytes leave the tenants' queued ledgers,
+	// and deadline-expired requests fail instead of running.
+	live := reqs[:0]
+	for _, p := range reqs {
+		if p.acct != nil {
+			p.acct.queuedBytes.Add(-p.cost)
+		}
+		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
+			p.ch <- mulResult{err: fmt.Errorf("%w: request expired while queued", ErrDeadlineExceeded)}
+			continue
+		}
+		live = append(live, p)
+	}
+	reqs = live
+	if len(reqs) == 0 {
+		return
+	}
 	sv := e.cur.Load()
 	width := len(reqs)
 	o := s.obs
@@ -690,7 +799,17 @@ func (c *Client) RegisterSuite(id, suite string, scale float64, seed int64) (Mat
 }
 
 // Mul computes y = A·x, transparently coalescing with concurrent callers.
+//
+// Deprecated: use MulOpts, which carries the request's tenant, SLO
+// class, and deadline. Mul is exactly MulOpts with zero options.
 func (c *Client) Mul(id string, x []float64) ([]float64, error) { return c.s.Mul(id, x) }
+
+// MulOpts computes y = A·x under the request options (tenant admission,
+// SLO class scheduling, deadline), transparently coalescing with
+// concurrent same-class callers.
+func (c *Client) MulOpts(id string, x []float64, opts MulOptions) ([]float64, error) {
+	return c.s.MulOpts(id, x, opts)
+}
 
 // Matrices lists the registered matrices.
 func (c *Client) Matrices() []MatrixInfo {

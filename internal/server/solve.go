@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/solve"
 	"repro/internal/traffic"
 )
@@ -50,6 +51,14 @@ const (
 	DefaultSolveIters  = 500
 	MaxSolveIters      = 100000
 )
+
+// solveChargeIters is the iteration-burst granularity solver sessions
+// charge their tenant's token bucket at: one burst is admitted up front
+// (429 when the bucket cannot cover it), then the session pauses at each
+// burst boundary until the bucket refills — pacing long-running solves
+// against the same byte budget that meters the tenant's Muls, without
+// rejecting a solve mid-flight.
+const solveChargeIters = 32
 
 // SolveRequest is the body of POST /v1/matrices/{id}/solve.
 type SolveRequest struct {
@@ -67,6 +76,13 @@ type SolveRequest struct {
 	// MaxIters is the step budget; 0 means DefaultSolveIters, negative or
 	// > MaxSolveIters values are rejected.
 	MaxIters int `json:"max_iters,omitempty"`
+	// Tenant identifies the budget the session's iterations draw from
+	// (token-bucket admission and per-burst pacing). Empty means
+	// DefaultTenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the SLO class the session's sweeps are scheduled under
+	// ("latency", "standard", "bulk"); empty applies the server default.
+	Class string `json:"class,omitempty"`
 }
 
 // SolveStatus is one solver session's observable state: GET
@@ -119,6 +135,15 @@ type solveSession struct {
 	bytesPerIter int64
 	created      time.Time
 
+	// Scheduling identity: the SLO class the session's sweeps acquire
+	// gate slots under, the tenant ledger its bursts charge (nil when
+	// the scheduling layer is off), and how many iterations the bucket
+	// has paid for so far. charged is touched only by the session
+	// goroutine.
+	class   sched.Class
+	acct    *tenantAccount
+	charged int
+
 	cancelOnce sync.Once
 	cancel     chan struct{} // closed by requestCancel
 	done       chan struct{} // closed when the goroutine exits
@@ -157,6 +182,11 @@ const (
 	stateCancelled = "cancelled"
 	stateFailed    = "failed"
 )
+
+// errSessionCancelled surfaces a cancellation observed inside the
+// solver's apply (a gate wait interrupted by DELETE or Close) so the
+// step loop can classify the finish as cancelled rather than failed.
+var errSessionCancelled = errors.New("server: solve session cancelled")
 
 // snapshot copies the observable state. full includes the residual
 // history and (for finished sessions) the solution vector; the list
@@ -198,9 +228,24 @@ func (e *Entry) isSymmetricMatrix() bool {
 	return e.symIs
 }
 
+// SolveOpts is Solve with the session's admission identity passed as an
+// options struct: non-empty fields override the request body's own
+// tenant/class, making the two call styles (wire body vs typed options)
+// equivalent. This is the method the unified API interface binds.
+func (s *Server) SolveOpts(id string, req SolveRequest, opts SolveOptions) (SolveStatus, error) {
+	if opts.Tenant != "" {
+		req.Tenant = opts.Tenant
+	}
+	if opts.Class != "" {
+		req.Class = opts.Class
+	}
+	return s.Solve(id, req)
+}
+
 // Solve validates one solver request against the registered matrix id,
-// admits it under the session cap, and starts the session goroutine. The
-// returned status is the session's state at admission (running, iters 0).
+// admits it under the session cap and the tenant's token bucket, and
+// starts the session goroutine. The returned status is the session's
+// state at admission (running, iters 0).
 func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	e, err := s.reg.Get(id)
 	if err != nil {
@@ -255,12 +300,41 @@ func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 		return SolveStatus{}, fmt.Errorf("server: unknown solver method %q (want cg or power)", req.Method)
 	}
 
+	class, err := s.resolveClass(req.Class)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	// Admit the session's first iteration-burst against the tenant's
+	// bucket; later bursts pace inside runSolve instead of rejecting.
+	chargeIters := min(solveChargeIters, maxIters)
+	burstBytes := bytesPerIter * int64(chargeIters)
+	var acct *tenantAccount
+	if sc := s.sched; sc != nil {
+		acct = sc.account(req.Tenant)
+		if acct.bucket != nil {
+			if ok, retry := acct.bucket.Take(burstBytes); !ok {
+				acct.rejected.Add(1)
+				acct.rejectedBytes.Add(burstBytes)
+				sc.classes[class].rejected.Add(1)
+				tenant := req.Tenant
+				if tenant == "" {
+					tenant = DefaultTenant
+				}
+				return SolveStatus{}, &AdmissionError{Tenant: tenant, Cost: burstBytes, RetryAfter: retry}
+			}
+		}
+		acct.served.Add(1)
+		sc.classes[class].served.Add(1)
+		sc.chargeBytes(acct, class, burstBytes)
+	}
+
 	ss := &solveSession{
 		matrixID: e.ID, method: req.Method, det: s.cfg.Deterministic,
 		tol: req.Tol, maxIters: maxIters, bytesPerIter: bytesPerIter,
 		created: time.Now(),
 		cancel:  make(chan struct{}), done: make(chan struct{}),
 		state: stateRunning, genFirst: sv.gen, genLast: sv.gen,
+		class: class, acct: acct, charged: chargeIters,
 	}
 	s.sessMu.Lock()
 	if s.closed {
@@ -335,18 +409,34 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			return err
 		}
 		clear(y)
+		// Session sweeps queue at the same priority gate as Mul batches,
+		// under the session's class — a bulk solve waits behind latency
+		// traffic (until aged), and the gate wait stays out of the sweep's
+		// roofline measurement.
+		sweepBytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1)
+		gated := false
+		if sc := s.sched; sc != nil && sc.gate != nil {
+			if !sc.gate.Acquire(ss.class, sweepBytes, ss.cancel) {
+				return errSessionCancelled
+			}
+			gated = true
+		}
 		var t0 time.Time
 		if s.obs != nil {
 			t0 = time.Now()
 		}
-		if err := s.runFused(sv, mo, y, x); err != nil {
+		err = s.runFused(sv, mo, y, x)
+		if gated {
+			s.sched.gate.Release()
+		}
+		if err != nil {
 			return err
 		}
 		if s.obs != nil {
 			d := time.Since(t0)
 			sweepDur += d
 			s.obs.stage.Observe(stageSolveSweep, d)
-			sv.roof.Record(d, sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1))
+			sv.roof.Record(d, sweepBytes)
 		}
 		s.recordSweep(e, sv, 1, false)
 		ss.mu.Lock()
@@ -384,6 +474,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 		solver = powerStepper{pw}
 	}
 
+	steps := 0
 	for solver.Status() == solve.Running {
 		select {
 		case <-ss.cancel:
@@ -391,12 +482,26 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			return
 		default:
 		}
+		// Burst boundary: the iterations paid for at admission (or the
+		// last boundary) are spent — sleep out the tenant bucket's refill
+		// for the next burst before stepping on.
+		if ss.acct != nil && steps >= ss.charged && ss.charged < maxIters {
+			burst := min(solveChargeIters, maxIters-ss.charged)
+			burstBytes := ss.bytesPerIter * int64(burst)
+			if ss.acct.bucket != nil && !ss.acct.bucket.Wait(burstBytes, ss.cancel) {
+				ss.finish(s, stateCancelled, "", solver.History(), solver.Residual(), solver.X())
+				return
+			}
+			s.sched.chargeBytes(ss.acct, ss.class, burstBytes)
+			ss.charged += burst
+		}
 		var iterStart time.Time
 		if s.obs != nil {
 			iterStart = time.Now()
 			sweepDur = 0
 		}
 		done, err := solver.Step()
+		steps++
 		s.st.solveIters.Add(1)
 		if s.obs != nil {
 			wall := time.Since(iterStart)
@@ -410,7 +515,13 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			state := solver.Status().String()
 			msg := ""
 			if err != nil {
-				msg = err.Error()
+				if errors.Is(err, errSessionCancelled) {
+					// The gate wait was interrupted by cancellation: that is
+					// the session's cancelled transition, not a solver fault.
+					state, msg = stateCancelled, ""
+				} else {
+					msg = err.Error()
+				}
 			}
 			ss.finish(s, state, msg, solver.History(), solver.Residual(), solver.X())
 			return
@@ -571,6 +682,9 @@ func (s *Server) handleSolveCreate(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusNotFound
 		case errors.Is(err, ErrTooManySessions):
 			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrAdmissionLimited):
+			code = http.StatusTooManyRequests
+			setRetryAfter(w, err)
 		}
 		writeError(w, code, err)
 		return
@@ -611,8 +725,18 @@ func (s *Server) handleSolveList(w http.ResponseWriter, _ *http.Request) {
 
 // Solve creates a solver session (in-process mirror of POST
 // /v1/matrices/{id}/solve).
+//
+// Deprecated: use SolveOpts, which carries the session's tenant and SLO
+// class as typed options. Solve is exactly SolveOpts with zero options.
 func (c *Client) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	return c.s.Solve(id, req)
+}
+
+// SolveOpts creates a solver session under the admission options
+// (tenant bucket, SLO class); non-empty options override the request's
+// own tenant/class fields.
+func (c *Client) SolveOpts(id string, req SolveRequest, opts SolveOptions) (SolveStatus, error) {
+	return c.s.SolveOpts(id, req, opts)
 }
 
 // SolveStatus polls a session, optionally waiting for it to finish.

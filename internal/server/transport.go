@@ -103,8 +103,8 @@ func (t *HTTPTransport) post(path string, req, resp any) error {
 	if r.StatusCode >= 300 {
 		detail := fmt.Sprintf("status %d", r.StatusCode)
 		var e errorResponse
-		if json.NewDecoder(r.Body).Decode(&e) == nil && e.Error != "" {
-			detail = e.Error
+		if json.NewDecoder(r.Body).Decode(&e) == nil && e.Error.Message != "" {
+			detail = e.Error.Message
 		}
 		// Restore the sentinel the member's HTTP layer encoded as a
 		// status code, so the coordinator's error classification does not

@@ -46,6 +46,7 @@ import (
 
 	spmv "repro"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/traffic"
 )
@@ -191,6 +192,33 @@ func obsOverheadMetrics(metrics map[string]Metric) {
 	metrics["obs_overhead_ratio"] = Metric{Value: i / o, Unit: "x", HigherBetter: true}
 }
 
+// schedOverheadMetrics measures what the admission/scheduling layer
+// costs a workload that doesn't need it: the same batched closed-loop
+// single-tenant run once FIFO and once with the class scheduler enabled
+// (unmetered — buckets off, so the cost measured is the priority gate
+// and per-class accounting on every request). Best of three per side;
+// bench_baseline.json gates the ratio against a hand-set floor.
+func schedOverheadMetrics(metrics map[string]Metric) {
+	off := server.DefaultConfig()
+	off.Adaptive = false
+	on := off
+	on.Sched = sched.Config{Enabled: true}
+	best := func(cfg server.Config) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			if v := serveThroughput(cfg, 8, 50); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	o := best(off)
+	s := best(on)
+	metrics["serve_sched_off_req_s"] = Metric{Value: o, Unit: "req/s"}
+	metrics["serve_sched_on_req_s"] = Metric{Value: s, Unit: "req/s"}
+	metrics["sched_overhead_ratio"] = Metric{Value: s / o, Unit: "x", HigherBetter: true}
+}
+
 // pinnedConfig is DefaultConfig with the parallel widths pinned to 1 so
 // the tuner's per-thread-block decisions — and with them the modeled
 // sweep bytes — do not vary with the runner's core count. The gated
@@ -326,6 +354,7 @@ func main() {
 	shardingMetrics(metrics)
 	symmetricMetrics(metrics)
 	obsOverheadMetrics(metrics)
+	schedOverheadMetrics(metrics)
 
 	r := Report{
 		Schema:  1,
