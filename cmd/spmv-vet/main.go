@@ -1,0 +1,111 @@
+// Command spmv-vet is the repo's contract checker: a `go vet -vettool`
+// multichecker running the internal/analysis suite (detpure,
+// snapshotonce, atomicfield, errenvelope, hotpathclean) — the
+// determinism, snapshot, atomics, and error-envelope invariants the
+// serving stack promises but the compiler cannot see.
+//
+// Two ways to run it:
+//
+//	go build -o spmv-vet ./cmd/spmv-vet
+//	go vet -vettool=$PWD/spmv-vet ./...     # the CI analyze job
+//
+// or let the binary drive go vet itself:
+//
+//	go run ./cmd/spmv-vet ./...             # re-execs go vet -vettool=self
+//
+// The protocol: the go command probes the tool with -V=full (a version
+// fingerprint for its action cache) and -flags (the tool's flag
+// surface), then invokes it once per compilation unit with the path to
+// a vet.cfg file as the sole argument. Exit status 2 signals findings,
+// matching x/tools' unitchecker convention.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const progname = "spmv-vet"
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			// No tool-specific flags: the go command forwards none.
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := analysis.RunUnit(args[0], analysis.All(), os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	// Standalone convenience mode: hand the package patterns to go vet
+	// with ourselves as the vettool, so one binary serves both CI (which
+	// invokes go vet explicitly) and a developer's `go run ./cmd/spmv-vet`.
+	selfExec(args)
+}
+
+func printVersion() {
+	// The go command fingerprints the tool by this line to key its
+	// action cache; hashing the executable makes any rebuild a new key.
+	var id string
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:16])
+		}
+	}
+	if id == "" {
+		id = "unknown"
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, id)
+}
+
+func usage() {
+	fmt.Printf("usage: %s [packages]   (or: go vet -vettool=%s [packages])\n\nanalyzers:\n", progname, progname)
+	for _, a := range analysis.All() {
+		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+func selfExec(patterns []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+}

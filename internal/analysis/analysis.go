@@ -1,0 +1,232 @@
+// Package analysis is spmv-vet: a suite of repo-specific static
+// analyzers that mechanically enforce the serving stack's contracts —
+// the invariants every PR since the batching layer leans on but the
+// compiler cannot see. Each analyzer checks one contract:
+//
+//   - detpure: functions marked //spmv:deterministic (the ordered-
+//     reduction kernel and BLAS-1 paths) must not reach time.Now,
+//     math/rand, or map iteration — the sources of run-to-run
+//     divergence that would break bitwise-stable responses.
+//   - snapshotonce: a serving snapshot (atomic.Pointer) is loaded at
+//     most once per function — re-loading mid-request tears the
+//     generation a sweep reports against the one it ran.
+//   - atomicfield: a struct field accessed through sync/atomic
+//     functions anywhere must be accessed atomically everywhere.
+//   - errenvelope: no string-matching on error text; errors wrap with
+//     %w or flow through sentinels.
+//   - hotpathclean: functions marked //spmv:hotpath must not call fmt,
+//     take mutexes, or allocate (each individually waivable per site
+//     via the directive's allow= list).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: the unit driver in unit.go speaks `go vet -vettool`'s
+// compilation-unit protocol directly, so the suite runs with nothing
+// but the go toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lowercase identifier, e.g. "detpure"
+	Doc  string // one-paragraph description of the contract enforced
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one compilation unit.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	suppress map[suppressKey]bool // lazily built line-directive index
+}
+
+type suppressKey struct {
+	file string
+	line int
+	name string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// All returns the full spmv-vet suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetPure,
+		SnapshotOnce,
+		AtomicField,
+		ErrEnvelope,
+		HotPathClean,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Directives. Contracts bind to code through //spmv: comments:
+//
+//	//spmv:deterministic            — on a function's doc comment
+//	//spmv:hotpath allow=mutex,alloc — on a function's doc comment
+//	//spmv:reload-ok    <reason>    — line suppression (snapshotonce)
+//	//spmv:nondet-ok    <reason>    — line suppression (detpure)
+//	//spmv:nonatomic-ok <reason>    — line suppression (atomicfield)
+//	//spmv:errfmt-ok    <reason>    — line suppression (errenvelope)
+//
+// Line suppressions apply to findings on their own line or the line
+// directly below (a comment of its own above the offending statement).
+
+const directivePrefix = "//spmv:"
+
+// Directive is one parsed //spmv: comment.
+type Directive struct {
+	Name string            // e.g. "deterministic", "hotpath", "reload-ok"
+	Args map[string]string // e.g. {"allow": "mutex,alloc"}
+}
+
+// parseDirective parses one comment's text, returning ok=false for
+// non-directive comments.
+func parseDirective(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	d := Directive{Name: fields[0], Args: map[string]string{}}
+	for _, f := range fields[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			d.Args[k] = v
+		}
+	}
+	return d, true
+}
+
+// funcDirective returns the named directive from fn's doc comment, if
+// present.
+func funcDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// allowSet splits a directive's allow= argument into a set.
+func (d Directive) allowSet() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range strings.Split(d.Args["allow"], ",") {
+		if a != "" {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// Suppressed reports whether a finding at pos is waived by the named
+// line directive (same line, or a standalone comment on the line above).
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	if p.suppress == nil {
+		p.suppress = map[suppressKey]bool{}
+		for _, f := range p.Files {
+			fname := p.Fset.File(f.Pos()).Name()
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					line := p.Fset.Position(c.Pos()).Line
+					p.suppress[suppressKey{fname, line, d.Name}] = true
+					p.suppress[suppressKey{fname, line + 1, d.Name}] = true
+				}
+			}
+		}
+	}
+	pp := p.Fset.Position(pos)
+	return p.suppress[suppressKey{pp.Filename, pp.Line, name}]
+}
+
+// isTestFile reports whether the file enclosing pos is a _test.go file.
+// Analyzers whose contracts govern production request paths
+// (snapshotonce, errenvelope) skip test files: tests legitimately
+// re-load snapshots across promotions and assert on error messages.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// ---------------------------------------------------------------------
+// Shared type-resolution helpers.
+
+// calleeFunc resolves a call's static callee, or nil for calls through
+// function values, interfaces, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is a (package-level or method) function of
+// the given import path.
+func isPkgFunc(f *types.Func, path string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == path
+}
+
+// namedIn reports whether t (after stripping pointers) is the named type
+// pkg.name.
+func namedIn(t types.Type, pkg, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return namedIn(types.Unalias(alias), pkg, name)
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+var errType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}

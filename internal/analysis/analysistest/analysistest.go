@@ -1,0 +1,263 @@
+// Package analysistest runs spmv-vet analyzers over fixture packages
+// and checks their findings against `// want "regexp"` expectations
+// embedded in the fixture source — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the standard
+// library so the suite's tests carry no module dependencies either.
+//
+// A fixture is one directory of .go files under the calling test's
+// testdata/. Every line that should produce a finding carries a
+// trailing comment `// want "re"` (several quoted regexps for several
+// findings on one line; backquotes work too). The harness type-checks
+// the fixture against real export data — obtained from `go list
+// -export` of the fixture's imports, which resolves entirely from the
+// local toolchain — so analyzers see the same types.Info they see
+// under `go vet`.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/<dir> relative to the
+// test's working directory, applies the analyzer, and reports any
+// mismatch between findings and `// want` expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fixture := filepath.Join("testdata", dir)
+	names, err := filepath.Glob(filepath.Join(fixture, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (err=%v)", fixture, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("bad import path %s: %v", imp.Path.Value, err)
+			}
+			imports[path] = true
+		}
+	}
+
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := ExportData(paths...)
+	if err != nil {
+		t.Fatalf("resolving export data: %v", err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := tc.Check("fixture/"+dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	key     lineKey
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// checkExpectations matches findings one-to-one against `// want`
+// comments on the same source line.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.UnitDiagnostic) {
+	t.Helper()
+	byLine := map[lineKey][]*expectation{}
+	var all []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, raw := range quotedRegexps(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					e := &expectation{key: key, re: re, raw: raw}
+					byLine[key] = append(byLine[key], e)
+					all = append(all, e)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := lineKey{d.Position.Filename, d.Position.Line}
+		found := false
+		for _, e := range byLine[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", d.Position, d.Message)
+		}
+	}
+	for _, e := range all {
+		if !e.matched {
+			t.Errorf("%s:%d: no finding matched want %q", e.key.file, e.key.line, e.raw)
+		}
+	}
+}
+
+// quotedRegexps splits the payload of a want comment into its quoted
+// regexps: `"re"` (Go-unquoted) or “ `re` “ (verbatim).
+func quotedRegexps(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			i := 1
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(s) {
+				t.Fatalf("%s: unterminated want string", pos)
+			}
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, s[:i+1], err)
+			}
+			out = append(out, q)
+			s = s[i+1:]
+		case '`':
+			j := strings.IndexByte(s[1:], '`')
+			if j < 0 {
+				t.Fatalf("%s: unterminated want string", pos)
+			}
+			out = append(out, s[1:1+j])
+			s = s[j+2:]
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, s)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no regexps", pos)
+	}
+	return out
+}
+
+var (
+	exportMu   sync.Mutex
+	exportDone = map[string]bool{}   // import paths already listed
+	exportFile = map[string]string{} // import path -> export data file
+)
+
+// ExportData returns export-data files for the given import paths and
+// all their transitive dependencies, via `go list -export -deps`. The
+// result maps import path to the compiled export file in the build
+// cache; entries accumulate across calls, so the returned map may
+// cover more than was asked for. Safe for concurrent use.
+func ExportData(paths ...string) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if !exportDone[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export: %w\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding go list output: %w", err)
+			}
+			exportDone[p.ImportPath] = true
+			if p.Export != "" {
+				exportFile[p.ImportPath] = p.Export
+			}
+		}
+		for _, p := range missing {
+			exportDone[p] = true
+		}
+	}
+	out := make(map[string]string, len(exportFile))
+	for k, v := range exportFile {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: a struct
+// field that is accessed through the sync/atomic package-level
+// functions (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.n), ...)
+// anywhere in the unit must be accessed that way everywhere in the
+// unit. A single plain read mixed in is a silent data race — it
+// compiles, usually works, and loses updates under load. The typed
+// atomics (atomic.Int64, atomic.Pointer, ...) are immune by
+// construction, which is why the serving stack uses them; this analyzer
+// is the tripwire that keeps the legacy style from creeping back in
+// half-converted form. Initialization before publication can be waived
+// with //spmv:nonatomic-ok on the access line.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields that appear as &x.f arguments to sync/atomic
+	// package-level functions.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{} // the sanctioned access sites
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isPkgFunc(fn, "sync/atomic") || fn.Signature().Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pass.TypesInfo, sel); fv != nil {
+					atomicFields[fv] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a finding.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			fv := fieldVar(pass.TypesInfo, sel)
+			if fv == nil || !atomicFields[fv] {
+				return true
+			}
+			if pass.Suppressed(sel.Pos(), "nonatomic-ok") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access is a data race (use the atomic helpers, or annotate //spmv:nonatomic-ok for pre-publication init)", fv.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil when sel
+// is not a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// sortDecls orders declarations by source position, making root
+// attribution in diagnostics independent of map iteration order.
+func sortDecls(decls []*ast.FuncDecl) {
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+}
+
+// Directive-rooted analyzers (detpure, hotpathclean) check not just the
+// annotated function but everything it can reach inside the package:
+// the kernel's exported sweep entry points fan out through unexported
+// part/segment workers, and a contract that stopped at the first call
+// boundary would be decorative. Edges the type checker cannot resolve
+// statically — interface methods, function values, calls into other
+// packages — are not followed; the directives are documented as binding
+// to the package-local static call graph.
+
+// localDecls maps each function object declared in the unit to its
+// declaration.
+func localDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// localCallees returns the in-package declared functions fd calls
+// (including calls made inside closures defined within fd).
+func localCallees(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	seen := map[*ast.FuncDecl]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.TypesInfo, call)
+		if f == nil {
+			return true
+		}
+		if callee, ok := decls[f]; ok && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+		return true
+	})
+	return out
+}
+
+// reachableFrom walks the package-local static call graph from each
+// root, returning for every reachable declaration the set of roots that
+// reach it (roots reach themselves).
+func reachableFrom(pass *Pass, roots []*ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) map[*ast.FuncDecl][]*ast.FuncDecl {
+	reached := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	for _, root := range roots {
+		visited := map[*ast.FuncDecl]bool{}
+		stack := []*ast.FuncDecl{root}
+		for len(stack) > 0 {
+			fd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[fd] {
+				continue
+			}
+			visited[fd] = true
+			reached[fd] = append(reached[fd], root)
+			stack = append(stack, localCallees(pass, fd, decls)...)
+		}
+	}
+	return reached
+}
+
+// declName renders a declaration's name with its receiver type, e.g.
+// "(*Gate).Acquire" or "Dot".
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star, recv = "*", se.X
+	}
+	name := "?"
+	switch t := recv.(type) {
+	case *ast.Ident:
+		name = t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return "(" + star + name + ")." + fd.Name.Name
+}

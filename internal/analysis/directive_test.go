@@ -1,0 +1,65 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		name string
+		args map[string]string
+	}{
+		{"//spmv:deterministic", true, "deterministic", nil},
+		{"//spmv:hotpath allow=mutex,alloc", true, "hotpath", map[string]string{"allow": "mutex,alloc"}},
+		{"//spmv:reload-ok observing the post-promotion snapshot", true, "reload-ok", nil},
+		{"// spmv:deterministic", false, "", nil}, // directives are space-free
+		{"//spmv:", false, "", nil},
+		{"// an ordinary comment", false, "", nil},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name {
+			t.Errorf("parseDirective(%q) name = %q, want %q", c.text, d.Name, c.name)
+		}
+		for k, v := range c.args {
+			if d.Args[k] != v {
+				t.Errorf("parseDirective(%q) args[%q] = %q, want %q", c.text, k, d.Args[k], v)
+			}
+		}
+	}
+}
+
+func TestAllowSet(t *testing.T) {
+	d, _ := parseDirective("//spmv:hotpath allow=mutex,alloc")
+	set := d.allowSet()
+	if !set["mutex"] || !set["alloc"] || set["fmt"] {
+		t.Errorf("allowSet = %v, want {mutex, alloc}", set)
+	}
+	d, _ = parseDirective("//spmv:hotpath")
+	if len(d.allowSet()) != 0 {
+		t.Errorf("bare hotpath allowSet = %v, want empty", d.allowSet())
+	}
+}
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}

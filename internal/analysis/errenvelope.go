@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// ErrEnvelope enforces the sentinel-error envelope: handlers classify
+// failures with errors.Is against exported sentinels, and every wrap
+// preserves the chain with %w. Two failure modes are forbidden:
+//
+//  1. String-matching on error text (strings.Contains(err.Error(), ...),
+//     err.Error() == "...", switch err.Error() {...}) — the coupling the
+//     robustness PR purged once; nothing but this analyzer prevents it
+//     from returning.
+//  2. fmt.Errorf formatting an error argument with no %w anywhere in
+//     the format — the wrap that silently drops the chain, so an
+//     errors.Is three frames up stops matching. A format that does
+//     carry %w may additionally seal other errors with %v on purpose
+//     (e.g. "%w: %v" keeping the sentinel while flattening detail).
+//     Deliberately opaque boundaries are waived with //spmv:errfmt-ok.
+//
+// Test files are skipped: asserting on rendered messages is a
+// legitimate thing for a test to do.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "no string-matching on error text; error wrapping must preserve the chain with %w",
+	Run:  runErrEnvelope,
+}
+
+// errTextMatchers are the strings functions whose use on error text
+// indicates matching rather than presentation.
+var errTextMatchers = map[string]bool{
+	"Contains": true, "ContainsAny": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "LastIndex": true, "Count": true, "Compare": true,
+}
+
+func runErrEnvelope(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if errTextCall(pass, n.X) || errTextCall(pass, n.Y) {
+						pass.Reportf(n.Pos(), "comparing error text with %s: classify with errors.Is/errors.As against a sentinel instead", n.Op)
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && errTextCall(pass, n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switching on error text: classify with errors.Is/errors.As against a sentinel instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	// Rule 1: strings matchers over err.Error().
+	if isPkgFunc(fn, "strings") && errTextMatchers[fn.Name()] {
+		for _, arg := range call.Args {
+			if errTextCall(pass, arg) {
+				pass.Reportf(call.Pos(), "string-matching on error text with strings.%s: classify with errors.Is/errors.As against a sentinel instead", fn.Name())
+				return
+			}
+		}
+	}
+	// Rule 2: fmt.Errorf with an error argument but no %w in the format.
+	if isPkgFunc(fn, "fmt") && fn.Name() == "Errorf" && len(call.Args) > 1 {
+		format, ok := constString(pass, call.Args[0])
+		if !ok || strings.Contains(format, "%w") {
+			return
+		}
+		for _, arg := range call.Args[1:] {
+			if isErrorType(pass.TypesInfo.TypeOf(arg)) && !pass.Suppressed(call.Pos(), "errfmt-ok") {
+				pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: the chain is dropped and errors.Is stops matching (wrap with %%w, or annotate //spmv:errfmt-ok for a deliberately opaque boundary)")
+				return
+			}
+		}
+	}
+}
+
+// errTextCall reports whether e is a call of the form x.Error() with x
+// an error value.
+func errTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

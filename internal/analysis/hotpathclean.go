@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathClean enforces the wait-free-hot-path budget: a function
+// marked //spmv:hotpath sits on every request (histogram recording,
+// gate admission), where a stray fmt call or allocation is an
+// observability layer perturbing exactly the thing it measures. Checked
+// across the package-local static call graph, three violation classes:
+//
+//   - fmt:   any call into package fmt (never waivable — formatting on
+//     a hot path is always a regression);
+//   - mutex: sync.Mutex/RWMutex Lock/RLock;
+//   - alloc: the obvious allocation forms — make, new, &CompositeLit.
+//
+// A path whose contract genuinely includes one of these declares it:
+// //spmv:hotpath allow=mutex,alloc (the gate's uncontended path is one
+// mutex acquire by design, and its saturated path heap-allocates the
+// queued waiter). A function reachable from several roots is held to
+// the strictest: the violation is waived only if every reaching root
+// allows it.
+var HotPathClean = &Analyzer{
+	Name: "hotpathclean",
+	Doc:  "//spmv:hotpath functions must not call fmt, take mutexes, or allocate (per-root allow= waivers)",
+	Run:  runHotPathClean,
+}
+
+func runHotPathClean(pass *Pass) error {
+	decls := localDecls(pass)
+	var roots []*ast.FuncDecl
+	allows := map[*ast.FuncDecl]map[string]bool{}
+	for _, fd := range decls {
+		if d, ok := funcDirective(fd, "hotpath"); ok {
+			roots = append(roots, fd)
+			allows[fd] = d.allowSet()
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sortDecls(roots) // stable root attribution in messages
+	for fd, via := range reachableFrom(pass, roots, decls) {
+		// A violation class is waived only when every root reaching this
+		// declaration allows it; the reported root is one that forbids.
+		forbidder := func(kind string) *ast.FuncDecl {
+			for _, root := range via {
+				if !allows[root][kind] {
+					return root
+				}
+			}
+			return nil
+		}
+		checkHotPath(pass, fd, forbidder)
+	}
+	return nil
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl, forbidder func(string) *ast.FuncDecl) {
+	report := func(n ast.Node, kind, what string) {
+		root := forbidder(kind)
+		if root == nil {
+			return
+		}
+		ctx := declName(fd)
+		if fd != root {
+			ctx += " (reached from //spmv:hotpath " + declName(root) + ")"
+		}
+		pass.Reportf(n.Pos(), "hot path %s: %s", ctx, what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil {
+				if isPkgFunc(fn, "fmt") {
+					report(n, "fmt", "calls fmt."+fn.Name())
+					return true
+				}
+				if fn.Name() == "Lock" || fn.Name() == "RLock" {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						recv := pass.TypesInfo.TypeOf(sel.X)
+						if recv != nil && (namedIn(recv, "sync", "Mutex") || namedIn(recv, "sync", "RWMutex")) {
+							report(n, "mutex", "acquires a "+fn.Name()+" mutex")
+							return true
+						}
+					}
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					report(n, "alloc", "allocates with "+id.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "alloc", "allocates a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture package in testdata/<name>,
+// which pairs positive cases (every finding annotated with a
+// `// want "regexp"` expectation) with negative ones (clean idioms and
+// waivers that must stay silent). The harness fails on both unexpected
+// findings and unmatched expectations, so these tests pin the suite's
+// precision as much as its recall.
+
+func TestDetPure(t *testing.T) {
+	analysistest.Run(t, analysis.DetPure, "detpure")
+}
+
+func TestSnapshotOnce(t *testing.T) {
+	analysistest.Run(t, analysis.SnapshotOnce, "snapshotonce")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicField, "atomicfield")
+}
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, analysis.ErrEnvelope, "errenvelope")
+}
+
+func TestHotPathClean(t *testing.T) {
+	analysistest.Run(t, analysis.HotPathClean, "hotpathclean")
+}

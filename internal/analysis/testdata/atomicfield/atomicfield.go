@@ -1,0 +1,34 @@
+// Fixture for the atomicfield analyzer: a field accessed via
+// sync/atomic anywhere must be accessed atomically everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func racyRead(c *counter) int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func racyWrite(c *counter) {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func typedIsImmune(c *counter) int64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	//spmv:nonatomic-ok pre-publication init: no other goroutine sees c yet
+	c.n = 0
+	return c
+}

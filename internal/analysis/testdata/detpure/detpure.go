@@ -1,0 +1,63 @@
+// Fixture for the detpure analyzer: //spmv:deterministic paths must
+// not reach wall clocks, math/rand, or map iteration.
+package detpure
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sweep is a marked reduction path committing every forbidden class.
+//
+//spmv:deterministic
+func sweep(m map[int]float64) float64 {
+	t := time.Now()     // want `nondeterministic: time\.Now in deterministic path sweep`
+	x := rand.Float64() // want `nondeterministic: rand\.Float64 in deterministic path sweep`
+	var s float64
+	for k, v := range m { // want `nondeterministic: map iteration order in deterministic path sweep`
+		s += float64(k) * v
+	}
+	return s + x + float64(t.Nanosecond())
+}
+
+// sweepVia only fans out; the violation is reported in the helper it
+// reaches, attributed back to this root.
+//
+//spmv:deterministic
+func sweepVia(n int) float64 {
+	return helper(n)
+}
+
+func helper(n int) float64 {
+	d := time.Since(time.Unix(0, 0)) // want `nondeterministic: time\.Since in deterministic path helper \(reached from //spmv:deterministic sweepVia\)`
+	return float64(n) * d.Seconds()
+}
+
+// sorted normalizes its map iteration, so the waiver applies.
+//
+//spmv:deterministic
+func sorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//spmv:nondet-ok keys are collected then sorted; the sum order is fixed
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// unmarked is outside every deterministic path: the same calls draw no
+// findings.
+func unmarked(m map[int]float64) float64 {
+	_ = time.Now()
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s + rand.Float64()
+}

@@ -1,0 +1,58 @@
+// Fixture for the errenvelope analyzer: no string-matching on error
+// text, and wraps must preserve the chain with %w.
+package errenvelope
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBudget = errors.New("admission budget exhausted")
+
+func matchText(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want `string-matching on error text with strings\.Contains`
+}
+
+func prefixText(err error) bool {
+	return strings.HasPrefix(err.Error(), "admission") // want `string-matching on error text with strings\.HasPrefix`
+}
+
+func compareText(err error) bool {
+	return err.Error() == "admission budget exhausted" // want `comparing error text with ==`
+}
+
+func switchText(err error) int {
+	switch err.Error() { // want `switching on error text`
+	case "admission budget exhausted":
+		return 1
+	}
+	return 0
+}
+
+func dropChain(err error) error {
+	return fmt.Errorf("sweep failed: %v", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+func classify(err error) bool {
+	return errors.Is(err, errBudget)
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("sweep failed: %w", err)
+}
+
+func sealDetail(err error) error {
+	// %w carries the sentinel; sealing the inner detail with %v is the
+	// envelope working as designed.
+	return fmt.Errorf("%w: %v", errBudget, err)
+}
+
+func opaqueBoundary(err error) error {
+	//spmv:errfmt-ok deliberately opaque: callers must not match on the cause
+	return fmt.Errorf("internal failure: %v", err)
+}
+
+func noErrArgs(n int) error {
+	return fmt.Errorf("bad width %d", n)
+}

@@ -1,0 +1,77 @@
+// Fixture for the hotpathclean analyzer: //spmv:hotpath functions must
+// not call fmt, take mutexes, or allocate, unless the directive's
+// allow= list waives a class.
+package hotpathclean
+
+import (
+	"fmt"
+	"sync"
+)
+
+type rec struct {
+	mu sync.Mutex
+	n  int
+}
+
+// record is a strict hot path: every violation class fires.
+//
+//spmv:hotpath
+func record(r *rec) {
+	r.mu.Lock() // want `hot path record: acquires a Lock mutex`
+	r.n++
+	r.mu.Unlock()
+	fmt.Println(r.n)     // want `hot path record: calls fmt\.Println`
+	b := make([]byte, 8) // want `hot path record: allocates with make`
+	_ = b
+	p := &rec{} // want `hot path record: allocates a composite literal`
+	_ = p
+}
+
+// gated waives exactly what its contract costs; fmt would still fire.
+//
+//spmv:hotpath allow=mutex,alloc
+func gated(r *rec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = make([]int, 1)
+	_ = &rec{}
+}
+
+// viaHelper is clean itself; the violation is in the helper it
+// reaches, attributed back to this root.
+//
+//spmv:hotpath
+func viaHelper(r *rec) int {
+	return helper(r)
+}
+
+func helper(r *rec) int {
+	fmt.Print(r.n) // want `hot path helper \(reached from //spmv:hotpath viaHelper\): calls fmt\.Print`
+	return r.n
+}
+
+// A function reachable from several roots is held to the strictest:
+// laxCaller allows alloc, strictCaller does not, so shared still fires
+// and the finding names the forbidding root.
+//
+//spmv:hotpath
+func strictCaller() int {
+	return shared()
+}
+
+//spmv:hotpath allow=alloc
+func laxCaller() int {
+	return shared()
+}
+
+func shared() int {
+	p := new(int) // want `hot path shared \(reached from //spmv:hotpath strictCaller\): allocates with new`
+	return *p
+}
+
+// coldPath is unmarked: the same body draws no findings.
+func coldPath(r *rec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Println(make([]byte, 4))
+}

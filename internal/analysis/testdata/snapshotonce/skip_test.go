@@ -1,0 +1,9 @@
+// Test files are exempt: asserting a promotion happened requires
+// loading the snapshot before and after. No findings expected here.
+package snapshotonce
+
+func doubleLoadInTest(e *entry) int {
+	a := e.cur.Load()
+	b := e.cur.Load()
+	return a.gen + b.gen
+}

@@ -1,0 +1,44 @@
+// Fixture for the snapshotonce analyzer: an atomic.Pointer snapshot is
+// loaded at most once per function body.
+package snapshotonce
+
+import "sync/atomic"
+
+type serving struct{ gen int }
+
+type entry struct {
+	cur atomic.Pointer[serving]
+}
+
+func reload(e *entry) int {
+	a := e.cur.Load()
+	b := e.cur.Load() // want `snapshot e\.cur\.Load\(\) called again in reload`
+	return a.gen + b.gen
+}
+
+func viaClosure(e *entry) func() int {
+	sv := e.cur.Load()
+	return func() int {
+		return sv.gen + e.cur.Load().gen // want `snapshot e\.cur\.Load\(\) called again in viaClosure`
+	}
+}
+
+func once(e *entry) int {
+	sv := e.cur.Load()
+	return sv.gen * sv.gen
+}
+
+func twoSnapshots(a, b *entry) int {
+	return a.cur.Load().gen + b.cur.Load().gen
+}
+
+func waived(e *entry) bool {
+	before := e.cur.Load()
+	promote(e)
+	//spmv:reload-ok deliberately observing the post-promotion snapshot
+	return e.cur.Load() != before
+}
+
+func promote(e *entry) {
+	e.cur.Store(&serving{gen: e.cur.Load().gen + 1})
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// The unit driver implements the compilation-unit half of `go vet
+// -vettool`'s command-line protocol (the part golang.org/x/tools ships
+// as unitchecker, reimplemented here on the standard library so the
+// suite has zero module dependencies). For every package in the build,
+// the go command writes a vet.cfg describing one unit — source files,
+// the import map, and the export-data file of every dependency, all
+// already built — and invokes the tool with that one path as its
+// argument. Type-checking therefore needs no go/packages machinery:
+// the stdlib gc importer reads the export files the go command already
+// placed in the build cache.
+
+// UnitConfig mirrors the vet.cfg JSON the go command writes. Fields the
+// driver does not consume (module metadata, vetx fact inputs) are
+// listed for documentation and ignored.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes one compilation unit described by the vet.cfg at
+// cfgPath, printing findings to w as file:line:col: messages. It
+// returns the number of findings; a non-nil error means the unit could
+// not be analyzed at all (unreadable config, parse or type errors).
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg UnitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The go command caches per-unit results keyed on this file: it must
+	// exist even though spmv-vet exports no cross-unit facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	// A VetxOnly unit is a dependency analyzed only for facts; with no
+	// facts to compute there is nothing to do.
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	diags, err := AnalyzeUnit(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s\n", d.Position, d.Message)
+	}
+	return len(diags), nil
+}
+
+// UnitDiagnostic is one finding with its position resolved.
+type UnitDiagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// AnalyzeUnit parses and type-checks the unit, runs the analyzers, and
+// returns findings sorted by position.
+func AnalyzeUnit(cfg *UnitConfig, analyzers []*Analyzer) ([]UnitDiagnostic, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+// RunAnalyzers runs the suite over an already type-checked package,
+// returning findings sorted by position. It is the common back end of
+// the vet protocol driver and the analysistest harness.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]UnitDiagnostic, error) {
+	var out []UnitDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				out = append(out, UnitDiagnostic{
+					Position: fset.Position(d.Pos),
+					Analyzer: d.Analyzer,
+					Message:  fmt.Sprintf("[%s] %s", d.Analyzer, d.Message),
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}

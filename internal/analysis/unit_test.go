@@ -1,0 +1,158 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// writeUnit materializes a one-file compilation unit and its vet.cfg,
+// the way `go vet -vettool` hands units to the driver, and returns the
+// config path and the VetxOutput path it names.
+func writeUnit(t *testing.T, src string, mutate func(*analysis.UnitConfig)) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	exports, err := analysistest.ExportData("fmt", "strings", "errors")
+	if err != nil {
+		t.Fatalf("export data: %v", err)
+	}
+	vetxPath = filepath.Join(dir, "vet.out")
+	cfg := analysis.UnitConfig{
+		ID:         "fixture",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "fixture",
+		GoFiles:    []string{goFile},
+		// Stdlib paths map to themselves; PackageFile points into the
+		// build cache exactly as the real vet.cfg does.
+		ImportMap:   map[string]string{},
+		PackageFile: exports,
+		VetxOutput:  vetxPath,
+	}
+	for p := range exports {
+		cfg.ImportMap[p] = p
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+const badSrc = `package fixture
+
+import "fmt"
+
+func wrap(err error) error {
+	return fmt.Errorf("sweep failed: %v", err)
+}
+`
+
+func TestRunUnitReportsFindings(t *testing.T) {
+	cfgPath, vetxPath := writeUnit(t, badSrc, nil)
+	var out bytes.Buffer
+	n, err := analysis.RunUnit(cfgPath, analysis.All(), &out)
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("findings = %d, want 1\noutput:\n%s", n, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "fixture.go:6:") || !strings.Contains(got, "[errenvelope]") {
+		t.Errorf("output missing position or analyzer tag:\n%s", got)
+	}
+	// The go command caches on the vetx file: it must exist even though
+	// the suite exports no facts.
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestRunUnitCleanSource(t *testing.T) {
+	const cleanSrc = `package fixture
+
+import "fmt"
+
+func wrap(err error) error {
+	return fmt.Errorf("sweep failed: %w", err)
+}
+`
+	cfgPath, _ := writeUnit(t, cleanSrc, nil)
+	var out bytes.Buffer
+	n, err := analysis.RunUnit(cfgPath, analysis.All(), &out)
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	if n != 0 || out.Len() != 0 {
+		t.Fatalf("findings = %d, output %q; want none", n, out.String())
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	// A VetxOnly unit is a dependency visited for facts only: the driver
+	// must write the vetx file and skip analysis entirely.
+	cfgPath, vetxPath := writeUnit(t, badSrc, func(cfg *analysis.UnitConfig) {
+		cfg.VetxOnly = true
+	})
+	var out bytes.Buffer
+	n, err := analysis.RunUnit(cfgPath, analysis.All(), &out)
+	if err != nil || n != 0 {
+		t.Fatalf("RunUnit = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestRunUnitTypecheckFailure(t *testing.T) {
+	const brokenSrc = `package fixture
+
+func oops() undeclared {
+	return 0
+}
+`
+	cfgPath, _ := writeUnit(t, brokenSrc, nil)
+	if _, err := analysis.RunUnit(cfgPath, analysis.All(), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected a type error")
+	}
+	// With SucceedOnTypecheckFailure (set by the go command when the
+	// compiler will report the error anyway) the driver stays silent.
+	cfgPath, _ = writeUnit(t, brokenSrc, func(cfg *analysis.UnitConfig) {
+		cfg.SucceedOnTypecheckFailure = true
+	})
+	n, err := analysis.RunUnit(cfgPath, analysis.All(), &bytes.Buffer{})
+	if err != nil || n != 0 {
+		t.Fatalf("RunUnit = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestRunUnitBadConfig(t *testing.T) {
+	if _, err := analysis.RunUnit(filepath.Join(t.TempDir(), "absent.cfg"), analysis.All(), &bytes.Buffer{}); err == nil {
+		t.Error("expected an error for a missing config")
+	}
+	bad := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(bad, []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.RunUnit(bad, analysis.All(), &bytes.Buffer{}); err == nil {
+		t.Error("expected an error for malformed config")
+	}
+}

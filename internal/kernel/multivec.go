@@ -38,6 +38,8 @@ func (mv *MultiVec) Vectors() int { return mv.nv }
 // The inner loop is unrolled for the common widths 1, 2, 4 and 8
 // (mirroring the register-block code generation) and falls back to a
 // generic loop.
+//
+//spmv:deterministic
 func (mv *MultiVec) MulAdd(y, x []float64) error {
 	return mv.MulAddRows(y, x, 0, mv.m.R)
 }
@@ -47,6 +49,8 @@ func (mv *MultiVec) MulAdd(y, x []float64) error {
 // regions of y, so concurrent calls over a row partition parallelize one
 // fused sweep without synchronization — the serving layer's sharded
 // multi-RHS path.
+//
+//spmv:deterministic
 func (mv *MultiVec) MulAddRows(y, x []float64, lo, hi int) error {
 	m := mv.m
 	nv := mv.nv

@@ -92,7 +92,11 @@ func (p *Parallel) SetSequential(seq bool) { p.seq = seq }
 // Threads returns the number of parts (one goroutine each).
 func (p *Parallel) Threads() int { return len(p.parts) }
 
-// MulAdd implements Kernel.
+// MulAdd implements Kernel. Parts own disjoint destination rows, so the
+// per-row reduction order is fixed regardless of scheduling — the
+// bitwise thread-invariance contract spmv-vet's detpure analyzer guards.
+//
+//spmv:deterministic
 func (p *Parallel) MulAdd(y, x []float64) error {
 	if len(y) != p.rows || len(x) != p.cols {
 		return fmt.Errorf("%w: matrix %dx%d with len(y)=%d len(x)=%d",

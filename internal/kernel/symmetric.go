@@ -108,12 +108,18 @@ type Exec func(tasks []func())
 // (X[j*nv+v] is element j of vector v, the layout of MultiVec): the
 // multi-RHS symmetric sweep, streaming the halved matrix once for all nv
 // vectors. Safe for concurrent use; each call draws its own spill scratch.
+//
+//spmv:deterministic
 func (s *SymSweep) MulAddWidth(y, x []float64, nv int) error {
 	return s.MulAddWidthExec(y, x, nv, nil)
 }
 
 // MulAddWidthExec is MulAddWidth with the sweep's two parallel phases
 // scheduled through exec (nil runs them on the kernel's own goroutines).
+// The ordered segment-then-reduce phases make the result bits invariant
+// to scheduling, which is the contract the directive pins.
+//
+//spmv:deterministic
 func (s *SymSweep) MulAddWidthExec(y, x []float64, nv int, exec Exec) error {
 	if nv < 1 {
 		return fmt.Errorf("kernel: need at least 1 vector, got %d", nv)

@@ -416,6 +416,8 @@ func (p *WideParallel) Name() string { return p.name }
 
 // MulAddBlock computes Y ← Y + A·X over interleaved width-k blocks,
 // running the parts on their own goroutines.
+//
+//spmv:deterministic
 func (p *WideParallel) MulAddBlock(y, x []float64) error {
 	return p.MulAddBlockExec(y, x, nil)
 }

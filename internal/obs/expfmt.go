@@ -345,7 +345,7 @@ func parseSample(line string) (ParsedSample, error) {
 	}
 	v, err := strconv.ParseFloat(rest, 64)
 	if err != nil {
-		return s, fmt.Errorf("bad value in %q: %v", line, err)
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
 	}
 	s.Value = v
 	return s, nil

@@ -80,6 +80,63 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExpositionByteStable renders the same logical exposition many
+// times — with multi-key label maps built in different insertion
+// orders — and asserts the output is byte-identical every time. Label
+// maps iterate in random order, so this pins labelString's key sort:
+// scrape diffing, content hashing, and golden-file tests all assume
+// /metrics is a pure function of the metric values.
+func TestExpositionByteStable(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{5 * time.Microsecond, 3 * time.Millisecond, 1200 * time.Millisecond} {
+		h.Record(d)
+	}
+	snap := h.Snapshot()
+
+	// labels returns the same three-key set with rotated insertion order,
+	// so consecutive renders exercise different map layouts.
+	labels := func(rot int) map[string]string {
+		keys := []string{"tenant", "class", "op"}
+		vals := map[string]string{"tenant": "acme", "class": "latency", "op": "mul"}
+		m := map[string]string{}
+		for i := range keys {
+			k := keys[(i+rot)%len(keys)]
+			m[k] = vals[k]
+		}
+		return m
+	}
+	render := func(rot int) string {
+		var sb strings.Builder
+		e := NewExpositor(&sb)
+		e.Counter("spmv_requests_total", "Requests admitted.", 42)
+		e.CounterVec("spmv_sweeps_total", "Sweeps by tenant, class, op.", []Sample{
+			{Labels: labels(rot), Value: 7},
+			{Labels: map[string]string{"tenant": "acme", "class": "bulk", "op": "mul"}, Value: 2},
+		})
+		e.GaugeVec("spmv_queue_bytes", "Queued modeled bytes.", []Sample{
+			{Labels: labels(rot + 1), Value: 1 << 20},
+		})
+		e.HistogramFamily("spmv_request_duration_seconds", "Request latency.", []HistSeries{
+			{Labels: labels(rot + 2), Snap: snap},
+		})
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	first := render(0)
+	for rot := 1; rot < 8; rot++ {
+		if got := render(rot); got != first {
+			t.Fatalf("exposition not byte-stable (rotation %d):\n--- first ---\n%s\n--- got ---\n%s", rot, first, got)
+		}
+	}
+	// And the stable form is valid: the parser accepts it whole.
+	if _, err := ParseExposition(strings.NewReader(first)); err != nil {
+		t.Fatalf("stable exposition does not parse: %v", err)
+	}
+}
+
 // TestExpositionCoarseningExact checks the le-ladder fold: cumulative
 // bucket counts at each bound must exactly match a brute-force count of
 // the recorded observations (the ladder aligns with octave edges, so no

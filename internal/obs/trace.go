@@ -48,6 +48,8 @@ func NewRing(n int) *Ring {
 func (r *Ring) NextID() uint64 { return r.id.Add(1) }
 
 // Put records a completed trace, overwriting the oldest slot.
+//
+//spmv:hotpath
 func (r *Ring) Put(t *Trace) {
 	slot := (r.pos.Add(1) - 1) % uint64(len(r.buf))
 	r.buf[slot].Store(t)
@@ -82,6 +84,8 @@ func NewSampler(every int) *Sampler {
 }
 
 // Sample reports whether this request should be traced.
+//
+//spmv:hotpath
 func (s *Sampler) Sample() bool {
 	if s.every == 0 {
 		return false

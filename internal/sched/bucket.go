@@ -45,6 +45,8 @@ func (b *Bucket) refillLocked(now time.Time) {
 // balance (possibly into deficit, for over-burst jobs) and returns ok.
 // On failure it returns how long the caller should wait before retrying
 // — the time for the refill to cover the shortfall.
+//
+//spmv:hotpath allow=mutex
 func (b *Bucket) Take(n int64) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

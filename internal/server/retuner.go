@@ -221,7 +221,10 @@ func (s *Server) evaluateEntry(e *Entry) bool {
 	// the entry's lifetime (the same rule prepare applies to the
 	// auto-symmetric comparison's loser).
 	drop := func(op *spmv.Operator, key *opKey) {
-		if op == nil || op == e.cur.Load().op {
+		// The serving pointer is deliberately re-read: after a promotion's
+		// Store below, this check must see the *new* serving operator — the
+		// sv loaded at evaluation start would spare the demoted incumbent.
+		if op == nil || op == e.cur.Load().op { //spmv:reload-ok must observe the post-promotion snapshot
 			return
 		}
 		if key != nil {

@@ -599,12 +599,15 @@ func (s *Server) recordSweep(e *Entry, sv *serving, width int, lonePath bool) {
 // the wait and before the sweep, so a saturated server sheds exactly the
 // work that can no longer meet its SLO.
 func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
-	if sc := s.sched; sc != nil && sc.gate != nil {
-		if sv := e.cur.Load(); sv != nil {
-			bytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, len(reqs))
-			sc.gate.Acquire(class, bytes, nil)
-			defer sc.gate.Release()
-		}
+	// One snapshot load for the entire batch: gate admission is priced on
+	// the same generation the sweep streams, so a re-tune promotion racing
+	// the batch can't charge the gate for one operator's bytes and then
+	// run another (the torn-generation class snapshotonce vets statically).
+	sv := e.cur.Load()
+	if sc := s.sched; sc != nil && sc.gate != nil && sv != nil {
+		bytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, len(reqs))
+		sc.gate.Acquire(class, bytes, nil)
+		defer sc.gate.Release()
 	}
 	// The batch is executing: its bytes leave the tenants' queued ledgers,
 	// and deadline-expired requests fail instead of running.
@@ -623,7 +626,6 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 	if len(reqs) == 0 {
 		return
 	}
-	sv := e.cur.Load()
 	width := len(reqs)
 	o := s.obs
 	var execStart time.Time // batch formation begins; closes every queue span
@@ -634,6 +636,10 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 		for _, p := range reqs {
 			p.ch <- mulResult{err: err}
 		}
+	}
+	if sv == nil {
+		fail(fmt.Errorf("server: matrix %q is still compiling", e.ID))
+		return
 	}
 	// Symmetric and wide entries always take the multi-RHS path below:
 	// their operator IS the deterministic kernel, and the path lets its

@@ -399,9 +399,12 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 	// deterministic Mul runs, so solver bits match serving bits and a
 	// concurrent promotion swaps in mid-solve without (in deterministic
 	// mode) moving them. sweepDur accumulates the iteration's measured
-	// sweep time for the per-iteration trace; Step calls apply
-	// synchronously on this goroutine, so plain variables suffice.
+	// sweep time and sweepGen the generation that sweep actually ran —
+	// the iteration trace must report the sweep's own snapshot, not
+	// whatever e.cur holds by trace time. Step calls apply synchronously
+	// on this goroutine, so plain variables suffice.
 	var sweepDur time.Duration
+	var sweepGen int
 	apply := func(y, x []float64) error {
 		sv := e.cur.Load()
 		mo, err := fusedView(sv, 1)
@@ -439,6 +442,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			sv.roof.Record(d, sweepBytes)
 		}
 		s.recordSweep(e, sv, 1, false)
+		sweepGen = sv.gen
 		ss.mu.Lock()
 		ss.genLast = sv.gen
 		ss.mu.Unlock()
@@ -507,7 +511,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			wall := time.Since(iterStart)
 			s.obs.stage.Observe(stageSolveIter, wall)
 			if s.obs.sampler.Sample() {
-				s.obs.traceSolveIter(ss.method+"_iter", e.ID, e.cur.Load().gen, iterStart, sweepDur, wall)
+				s.obs.traceSolveIter(ss.method+"_iter", e.ID, sweepGen, iterStart, sweepDur, wall)
 			}
 		}
 		ss.publish(solver)

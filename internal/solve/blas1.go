@@ -136,7 +136,11 @@ func (b BLAS) reduce(n int, partial func(lo, hi int) float64) float64 {
 }
 
 // Dot returns xᵀy. It panics when the lengths differ (programmer error,
-// like the stdlib's copy contract).
+// like the stdlib's copy contract). The fixed-block partial sums reduce
+// in block order, so the result bits are thread-count invariant — the
+// solver-trajectory determinism contract.
+//
+//spmv:deterministic
 func (b BLAS) Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("solve: Dot length mismatch")
@@ -151,12 +155,16 @@ func (b BLAS) Dot(x, y []float64) float64 {
 }
 
 // Norm2 returns ‖x‖₂, the square root of the mode's Dot(x, x).
+//
+//spmv:deterministic
 func (b BLAS) Norm2(x []float64) float64 {
 	return math.Sqrt(b.Dot(x, x))
 }
 
 // Axpy computes y ← y + α·x. Element-wise, so its bits never depend on
 // mode or thread count.
+//
+//spmv:deterministic
 func (b BLAS) Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("solve: Axpy length mismatch")
@@ -171,6 +179,8 @@ func (b BLAS) Axpy(alpha float64, x, y []float64) {
 
 // Xpay computes y ← x + α·y — the CG search-direction update
 // p = r + β·p. Element-wise, bit-stable under any mode.
+//
+//spmv:deterministic
 func (b BLAS) Xpay(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("solve: Xpay length mismatch")
@@ -184,6 +194,8 @@ func (b BLAS) Xpay(alpha float64, x, y []float64) {
 }
 
 // Scale computes x ← α·x. Element-wise, bit-stable under any mode.
+//
+//spmv:deterministic
 func (b BLAS) Scale(alpha float64, x []float64) {
 	rs := ranges(len(x), b.threads())
 	runParts(len(rs), b.threads(), len(x), func(p int) {
