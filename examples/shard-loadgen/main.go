@@ -21,6 +21,14 @@
 // fused sweeps. Results are bitwise identical across topologies (verified
 // on every run here; see Config.Deterministic).
 //
+// The run ends with a skewed-member scenario: a 2-fast/1-slow fleet
+// (one member's transport delayed, standing in for a degraded node)
+// served under replicas=2, first with blind round-robin routing, then
+// with the least-loaded policy. Round-robin keeps sending half of each
+// band's traffic to the slow member and inherits its latency; the
+// least-loaded router sees the slow member's in-flight modeled bytes
+// pile up and steers requests to the fast replica of each band.
+//
 //	go run ./examples/shard-loadgen [-suite LP] [-scale 0.1] [-shards 2,4] [-clients 8] [-requests 100]
 package main
 
@@ -75,6 +83,7 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
 	requests := flag.Int("requests", 100, "requests per client")
 	replicas := flag.Int("replicas", 1, "member replicas per shard band")
+	skewDelay := flag.Duration("skew-delay", 2*time.Millisecond, "per-sub-request delay of the slow member in the skewed-fleet scenario (0 skips it)")
 	flag.Parse()
 
 	m, err := spmv.GenerateSuite(*suite, *scale, 7)
@@ -163,4 +172,66 @@ func main() {
 
 	fmt.Printf("\naggregate throughput at K=%d: %.2fx single-node (bandwidth-bound model, bitwise-identical results)\n",
 		lastK, lastSpeedup)
+
+	if *skewDelay > 0 {
+		skewScenario(m, *suite, want, probe, *clients, *requests, *skewDelay)
+	}
+}
+
+// slowTransport delays every Mul, standing in for a degraded member (a
+// throttled socket, a saturated NIC) that still answers correctly.
+type slowTransport struct {
+	server.Transport
+	delay time.Duration
+}
+
+func (t *slowTransport) Mul(id string, x []float64) ([]float64, error) {
+	time.Sleep(t.delay)
+	return t.Transport.Mul(id, x)
+}
+
+// skewScenario serves the matrix from a 2-fast/1-slow three-member fleet
+// at K=3, replicas=2, under round-robin and then least-loaded routing,
+// reporting measured throughput and the per-member request distribution
+// for each policy.
+func skewScenario(m *spmv.Matrix, suite string, want, probe []float64, clients, requests int, delay time.Duration) {
+	fmt.Printf("\nskewed fleet: 3 members, node2 delayed %s per sub-request, K=3, replicas=2\n", delay)
+	run := func(policy server.RoutePolicy) float64 {
+		servers := make([]*server.Server, 3)
+		transports := make([]server.Transport, 3)
+		for i := range servers {
+			servers[i] = server.New(server.DefaultConfig())
+			defer servers[i].Close()
+			transports[i] = server.NewLocalTransport(fmt.Sprintf("node%d", i), servers[i])
+		}
+		transports[2] = &slowTransport{Transport: transports[2], delay: delay}
+		cluster, err := server.NewCluster(transports, server.ClusterConfig{Replicas: 2, Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cluster.RegisterSharded("m", suite, m, 3); err != nil {
+			log.Fatal(err)
+		}
+		got, err := cluster.Mul("m", probe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				log.Fatalf("%s: y[%d] diverged from single-node serving", policy, i)
+			}
+		}
+		rate := drive(func(x []float64) ([]float64, error) { return cluster.Mul("m", x) },
+			len(probe), clients, requests)
+		var dist []string
+		for _, mi := range cluster.Members() {
+			dist = append(dist, fmt.Sprintf("%s=%d", mi.Name, mi.Requests))
+		}
+		fmt.Printf("%-14s %10.0f req/s measured   sub-requests: %s\n",
+			policy, rate, strings.Join(dist, " "))
+		return rate
+	}
+	rr := run(server.RouteRoundRobin)
+	ll := run(server.RouteLeastLoaded)
+	fmt.Printf("least-loaded vs round-robin on the skewed fleet: %.2fx\n", ll/rr)
 }

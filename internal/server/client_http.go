@@ -93,9 +93,20 @@ func (hc *HTTPClient) apiError(r *http.Response) error {
 		detail = e.Error.Message
 	}
 	if e.Error.Code == "admission_limited" {
-		ae := &AdmissionError{Tenant: "", RetryAfter: time.Second}
-		if secs, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
+		// The envelope body carries the rejection's structured details at
+		// full resolution; the Retry-After header (whole seconds, rounded
+		// up) is only a fallback for responses from older servers, and a
+		// one-second guess the last resort — never a replacement for a
+		// sub-second estimate the server did provide.
+		ae := &AdmissionError{Tenant: e.Error.Tenant}
+		switch {
+		case e.Error.RetryAfterMS > 0:
+			ae.RetryAfter = time.Duration(e.Error.RetryAfterMS * float64(time.Millisecond))
+		default:
+			ae.RetryAfter = time.Second
+			if secs, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
 		}
 		return fmt.Errorf("server %s: %s: %w", hc.base, detail, ae)
 	}
@@ -155,6 +166,7 @@ func (hc *HTTPClient) MulOpts(id string, x []float64, opts MulOptions) ([]float6
 		Tenant:     opts.Tenant,
 		Class:      opts.Class,
 		DeadlineMS: int64(opts.Deadline / time.Millisecond),
+		Affinity:   opts.Affinity,
 	}
 	var resp mulResponse
 	if err := hc.do(http.MethodPost, "/v1/matrices/"+url.PathEscape(id)+"/mul", req, &resp); err != nil {

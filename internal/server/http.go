@@ -58,6 +58,9 @@ type mulRequest struct {
 	Tenant     string `json:"tenant,omitempty"`
 	Class      string `json:"class,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// Affinity is the sharded-routing affinity key (MulOptions.Affinity);
+	// ignored for locally served matrices.
+	Affinity string `json:"affinity,omitempty"`
 }
 
 type mulResponse struct {
@@ -71,6 +74,12 @@ type mulResponse struct {
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Admission rejections carry their structured details so clients can
+	// reconstruct the AdmissionError faithfully: the tenant whose bucket
+	// refused, and the server's refill estimate at full resolution (the
+	// Retry-After header rounds up to whole seconds).
+	Tenant       string  `json:"tenant,omitempty"`
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
 }
 
 type errorResponse struct {
@@ -179,10 +188,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: errorBody{
+	body := errorBody{
 		Code:    errorCode(code, err),
 		Message: err.Error(),
-	}})
+	}
+	var ae *AdmissionError
+	if errors.As(err, &ae) {
+		body.Tenant = ae.Tenant
+		body.RetryAfterMS = float64(ae.RetryAfter) / float64(time.Millisecond)
+	}
+	writeJSON(w, code, errorResponse{Error: body})
 }
 
 // handleNotFound is the catch-all for requests matching no route, so
@@ -352,17 +367,12 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 		Tenant:   req.Tenant,
 		Class:    req.Class,
 		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		Affinity: req.Affinity,
 	}
-	var y []float64
-	var err error
-	if s.cluster != nil && s.cluster.Has(id) {
-		// Sharded Muls scatter to member nodes, whose own servers admit
-		// the band sub-requests; the coordinator path itself is not
-		// admission-controlled.
-		y, err = s.cluster.Mul(id, req.X)
-	} else {
-		y, err = s.MulOpts(id, req.X, opts)
-	}
+	// MulOpts routes sharded ids through the cluster front itself, so
+	// sharded and local requests share one admission path (tenant bucket,
+	// priority gate, deadline) and one error surface.
+	y, err := s.MulOpts(id, req.X, opts)
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -562,5 +572,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		e.Counter("spmv_cluster_retries_total", "Failed band sub-request attempts.", float64(cs.Retries))
 		e.Counter("spmv_cluster_failovers_total", "Bands served by a fallback replica.", float64(cs.Failovers))
 		e.Counter("spmv_cluster_ejections_total", "Member ejections.", float64(cs.Ejections))
+		e.Counter("spmv_cluster_probes_total", "Half-open probe trials issued to ejected members.", float64(cs.Probes))
+		e.Counter("spmv_cluster_recoveries_total", "Ejected members restored to rotation by a probe.", float64(cs.Recoveries))
+		e.Counter("spmv_cluster_rebalances_total", "Band-topology swaps (manual and skew-triggered).", float64(cs.Rebalances))
+		var rInflight, rServed, rRequests, rFailRate []obs.Sample
+		for _, ms := range cs.Member {
+			l := map[string]string{"member": ms.Name}
+			rInflight = append(rInflight, obs.Sample{Labels: l, Value: float64(ms.InFlightBytes)})
+			rServed = append(rServed, obs.Sample{Labels: l, Value: float64(ms.ServedBytes)})
+			rRequests = append(rRequests, obs.Sample{Labels: l, Value: float64(ms.Requests)})
+			rFailRate = append(rFailRate, obs.Sample{Labels: l, Value: ms.FailureRate})
+		}
+		e.GaugeVec("spmv_cluster_route_inflight_bytes", "Modeled sweep bytes dispatched and not yet completed, by member.", rInflight)
+		e.CounterVec("spmv_cluster_route_served_bytes_total", "Modeled sweep bytes served, by member (the rebalance skew signal).", rServed)
+		e.CounterVec("spmv_cluster_route_requests_total", "Successful band sub-requests, by member.", rRequests)
+		e.GaugeVec("spmv_cluster_route_failure_rate", "Decayed windowed failure rate, by member.", rFailRate)
 	}
 }

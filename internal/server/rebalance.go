@@ -1,0 +1,188 @@
+// Online reband/rebalance for the shard coordinator. A static
+// nonzero-balanced split is only balanced if every member delivers the
+// same bandwidth; a degraded node, a recovered node rejoining cold, or a
+// replica set that lost a member all skew per-member served bytes. When
+// the Jain fairness index of that skew (measured since the last topology
+// swap, over the members the topology actually uses) crosses
+// ClusterConfig.RebalanceSkew, the coordinator re-splits the row bands —
+// weighting each row's nonzeros by its band's *observed* cost per
+// modeled byte, so rows that proved expensive get smaller bands — and
+// swaps the new topology copy-on-write (the PR 4 snapshot pattern):
+// requests in flight drain on the bands they loaded, new requests route
+// on the new generation, and member registries stay append-only so both
+// generations serve concurrently during the drain.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// rebalanceCheckEvery is the auto-rebalance cadence: skew is evaluated
+// once per this many cluster Muls of a matrix.
+const rebalanceCheckEvery = 64
+
+// rebalanceCooldown is the minimum number of a matrix's Muls between
+// automatic topology swaps, so structurally unfixable skew (e.g. more
+// members than bands) cannot trigger a reband storm.
+const rebalanceCooldown = 4 * rebalanceCheckEvery
+
+// Cost-factor clamp for observed per-band serving cost (rebandWeights):
+// a band may count as at most this many times more expensive per nonzero
+// than the cheapest band, so one noisy latency sample cannot collapse
+// the partition.
+const maxCostFactor = 8.0
+
+// weightScale keeps fractional cost factors meaningful on int64 weights.
+const weightScale = 256
+
+// Rebalance re-splits the sharded matrix id into shards row bands using
+// observed per-band costs, places them on the currently live members,
+// and swaps the topology copy-on-write. In-flight requests finish on the
+// old bands; the swap changes only row boundaries, never per-row
+// summation order, so deterministic-mode bits are unchanged across a
+// live reband. Returns the new topology.
+func (c *Cluster) Rebalance(id string, shards int) (ShardedMatrixInfo, error) {
+	e, err := c.entry(id)
+	if err != nil {
+		return ShardedMatrixInfo{}, err
+	}
+	return c.rebalance(e, shards)
+}
+
+func (c *Cluster) rebalance(e *shardedEntry, shards int) (ShardedMatrixInfo, error) {
+	if shards < 1 {
+		return ShardedMatrixInfo{}, fmt.Errorf("server: need at least 1 shard, got %d", shards)
+	}
+	if shards > e.rows {
+		shards = e.rows
+	}
+	e.rebalanceMu.Lock()
+	defer e.rebalanceMu.Unlock()
+	old := e.topo.Load()
+
+	weights := rebandWeights(e, old)
+
+	// Place on live members when any exist; a fully ejected fleet still
+	// rebands over everyone (the half-open loop will sort them out).
+	pool := make([]*Member, 0, len(c.members))
+	for _, m := range c.members {
+		if !m.ejected.Load() {
+			pool = append(pool, m)
+		}
+	}
+	if len(pool) == 0 {
+		pool = c.members
+	}
+	replicas := c.cfg.Replicas
+	if replicas > len(pool) {
+		replicas = len(pool)
+	}
+
+	bands, total, err := c.buildBands(e.id, e.name, old.gen+1, e.src, e.rows, e.cols, weights, shards, pool, replicas)
+	if err != nil {
+		return ShardedMatrixInfo{}, err
+	}
+	e.topo.Store(&topology{
+		gen: old.gen + 1, bands: bands, sweepBytes: total,
+		baseline: c.servedSnapshot(),
+	})
+	c.rebalances.Add(1)
+	return e.info(), nil
+}
+
+// rebandWeights builds the per-row partition weights for a re-split:
+// each row's nonzero count scaled by its old band's observed cost per
+// modeled byte (normalized to the cheapest observed band, clamped to
+// maxCostFactor). Bands with no observations cost 1x. The result is the
+// ByNNZCounts input: heavier-than-modeled rows land in smaller bands.
+func rebandWeights(e *shardedEntry, old *topology) []int64 {
+	counts := make([]int64, e.rows)
+	e.src.Entries(func(i, j int, v float64) { counts[i]++ })
+
+	// Observed ns per modeled byte for each old band, and the cheapest.
+	perByte := make([]float64, len(old.bands))
+	minPB := 0.0
+	for k, b := range old.bands {
+		n := b.served.Load()
+		if n <= 0 || b.sweepBytes <= 0 {
+			continue
+		}
+		pb := float64(b.servedNS.Load()) / float64(n) / float64(b.sweepBytes)
+		if pb <= 0 {
+			continue
+		}
+		perByte[k] = pb
+		if minPB == 0 || pb < minPB {
+			minPB = pb
+		}
+	}
+
+	weights := make([]int64, e.rows)
+	for k, b := range old.bands {
+		factor := 1.0
+		if perByte[k] > 0 && minPB > 0 {
+			factor = perByte[k] / minPB
+			if factor > maxCostFactor {
+				factor = maxCostFactor
+			}
+		}
+		scaled := int64(factor * weightScale)
+		for i := b.lo; i < b.hi && i < e.rows; i++ {
+			weights[i] = counts[i] * scaled
+		}
+	}
+	return weights
+}
+
+// maybeRebalance is the auto-rebalance trigger, called after every
+// cluster Mul: every rebalanceCheckEvery Muls it computes the Jain
+// fairness index of per-member served-byte deltas since the topology
+// swap (participants only — members holding no replica of this matrix do
+// not count as skew) and, below the configured threshold, kicks an
+// asynchronous reband at the same shard count. Single-flight per matrix,
+// with a cooldown so unfixable skew cannot loop.
+func (c *Cluster) maybeRebalance(e *shardedEntry, t *topology) {
+	if c.cfg.RebalanceSkew <= 0 {
+		return
+	}
+	muls := e.muls.Add(1)
+	if muls%rebalanceCheckEvery != 0 {
+		return
+	}
+	if last := e.lastCheck.Load(); muls-last < rebalanceCooldown && last != 0 {
+		return
+	}
+
+	participant := make(map[*Member]bool)
+	for _, b := range t.bands {
+		for _, m := range b.replicas {
+			participant[m] = true
+		}
+	}
+	var alloc []float64
+	for i, m := range c.members {
+		if !participant[m] {
+			continue
+		}
+		base := int64(0)
+		if i < len(t.baseline) {
+			base = t.baseline[i]
+		}
+		alloc = append(alloc, float64(m.served.Load()-base))
+	}
+	if len(alloc) < 2 || sched.JainIndex(alloc) >= c.cfg.RebalanceSkew {
+		return
+	}
+	if !e.rebalancing.CompareAndSwap(false, true) {
+		return
+	}
+	e.lastCheck.Store(muls)
+	go func() {
+		defer e.rebalancing.Store(false)
+		// Same shard count: the point is new boundaries and placement, not
+		// a different K (operators change K via Rebalance directly).
+		_, _ = c.rebalance(e, len(t.bands))
+	}()
+}

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,11 @@ type MulOptions struct {
 	// still waiting for its sweep when the deadline expires fails with
 	// ErrDeadlineExceeded instead of executing. Zero means none.
 	Deadline time.Duration
+	// Affinity is the routing key for sharded matrices under the
+	// session-affinity cluster policy: requests sharing a key stick to one
+	// replica per band. Ignored for locally served matrices and for other
+	// routing policies.
+	Affinity string
 }
 
 // SolveOptions modifies one solver-session creation, mirroring
@@ -189,6 +195,75 @@ func (s *Server) resolveClass(name string) (sched.Class, error) {
 		return s.cfg.Sched.DefaultClass, nil
 	}
 	return sched.ParseClass(name)
+}
+
+// clusterMul is the admission-controlled front door of the sharded Mul
+// path: the same tenant bucket, priority gate, and deadline semantics as
+// the local MulOpts, wrapped around the cluster fan-out. The admission
+// cost is the fleet-wide modeled bytes one sharded request moves (the
+// sum of band sweep bytes), so a tenant's sharded traffic draws down the
+// same budget as its local traffic — PR 7's leftover: previously the
+// cluster path bypassed admission entirely.
+func (s *Server) clusterMul(id string, x []float64, opts MulOptions) ([]float64, error) {
+	cost, err := s.cluster.RequestBytes(id)
+	if err != nil {
+		return nil, err
+	}
+	class, err := s.resolveClass(opts.Class)
+	if err != nil {
+		return nil, err
+	}
+	var acct *tenantAccount
+	sc := s.sched
+	if sc != nil {
+		if acct, err = sc.admit(opts.Tenant, class, cost); err != nil {
+			return nil, err
+		}
+	}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	s.st.requests.Add(1)
+	var enq time.Time
+	if s.obs != nil {
+		enq = time.Now()
+	}
+	// The gate orders the fan-out against local sweeps: a bulk sharded
+	// request queues behind latency-class work just like a local batch.
+	gated := sc != nil && sc.gate != nil
+	if gated {
+		sc.gate.Acquire(class, cost, nil)
+	}
+	if acct != nil {
+		acct.queuedBytes.Add(-cost)
+	}
+	var y []float64
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		err = fmt.Errorf("%w: request expired while queued", ErrDeadlineExceeded)
+	} else {
+		y, err = s.cluster.MulOpts(id, x, ClusterMulOptions{Affinity: opts.Affinity})
+	}
+	if gated {
+		sc.gate.Release()
+	}
+	if sc != nil {
+		if err == nil {
+			if acct != nil {
+				sc.complete(acct, class, cost)
+			}
+		} else if errors.Is(err, ErrDeadlineExceeded) {
+			sc.classes[class].expired.Add(1)
+		}
+	}
+	if s.obs != nil {
+		lat := time.Since(enq)
+		if err == nil {
+			s.obs.matrix.Observe(id, lat)
+		}
+		s.obs.class.Observe(class.String(), lat)
+	}
+	return y, err
 }
 
 // TenantStats is one tenant's admission ledger in /v1/stats.

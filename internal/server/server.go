@@ -495,6 +495,12 @@ func (s *Server) Mul(id string, x []float64) ([]float64, error) {
 func (s *Server) MulOpts(id string, x []float64, opts MulOptions) ([]float64, error) {
 	e, err := s.reg.Get(id)
 	if err != nil {
+		// Cluster-sharded matrices live in the coordinator, not the local
+		// registry; they go through the same admission front (tenant
+		// bucket, priority gate, deadline) before the fan-out.
+		if s.cluster != nil && s.cluster.Has(id) {
+			return s.clusterMul(id, x, opts)
+		}
 		return nil, err
 	}
 	if len(x) != e.cols {

@@ -132,6 +132,7 @@ type solveSession struct {
 	det          bool
 	tol          float64
 	maxIters     int
+	rows         int
 	bytesPerIter int64
 	created      time.Time
 
@@ -249,6 +250,11 @@ func (s *Server) SolveOpts(id string, req SolveRequest, opts SolveOptions) (Solv
 func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	e, err := s.reg.Get(id)
 	if err != nil {
+		// Cluster-sharded matrices solve over the sharded Mul fan-out,
+		// with the session id as the routing affinity key.
+		if s.cluster != nil && s.cluster.Has(id) {
+			return s.clusterSolve(id, req)
+		}
 		return SolveStatus{}, err
 	}
 	sv := e.cur.Load()
@@ -307,43 +313,165 @@ func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	// Admit the session's first iteration-burst against the tenant's
 	// bucket; later bursts pace inside runSolve instead of rejecting.
 	chargeIters := min(solveChargeIters, maxIters)
-	burstBytes := bytesPerIter * int64(chargeIters)
-	var acct *tenantAccount
-	if sc := s.sched; sc != nil {
-		acct = sc.account(req.Tenant)
-		if acct.bucket != nil {
-			if ok, retry := acct.bucket.Take(burstBytes); !ok {
-				acct.rejected.Add(1)
-				acct.rejectedBytes.Add(burstBytes)
-				sc.classes[class].rejected.Add(1)
-				tenant := req.Tenant
-				if tenant == "" {
-					tenant = DefaultTenant
-				}
-				return SolveStatus{}, &AdmissionError{Tenant: tenant, Cost: burstBytes, RetryAfter: retry}
-			}
-		}
-		acct.served.Add(1)
-		sc.classes[class].served.Add(1)
-		sc.chargeBytes(acct, class, burstBytes)
+	acct, err := s.admitSolveBurst(req.Tenant, class, bytesPerIter*int64(chargeIters))
+	if err != nil {
+		return SolveStatus{}, err
 	}
 
 	ss := &solveSession{
 		matrixID: e.ID, method: req.Method, det: s.cfg.Deterministic,
-		tol: req.Tol, maxIters: maxIters, bytesPerIter: bytesPerIter,
+		tol: req.Tol, maxIters: maxIters, rows: e.rows, bytesPerIter: bytesPerIter,
 		created: time.Now(),
 		cancel:  make(chan struct{}), done: make(chan struct{}),
 		state: stateRunning, genFirst: sv.gen, genLast: sv.gen,
 		class: class, acct: acct, charged: chargeIters,
 	}
+	if err := s.registerSession(ss); err != nil {
+		return SolveStatus{}, err
+	}
+	s.log.Info("solve session created",
+		slog.String("sid", ss.id), slog.String("matrix", e.ID),
+		slog.String("method", ss.method), slog.Int("max_iters", maxIters),
+		slog.Int("generation", sv.gen))
+	go s.runSolve(e, ss, req, maxIters)
+	return ss.snapshot(true), nil
+}
+
+// clusterSolve validates and admits a solver session over a
+// cluster-sharded matrix. Iterations run the sharded Mul fan-out with
+// the session id as the routing affinity key, so under the affinity
+// policy every iteration of one solve lands on the same replica of each
+// band (warm member caches), while distinct sessions spread across
+// replicas. The generation fields record the cluster topology
+// generation: a gap means the solve iterated across a live reband. The
+// burst admission and pacing are identical to local sessions, charged at
+// the fleet-wide modeled bytes of one sharded sweep.
+func (s *Server) clusterSolve(id string, req SolveRequest) (SolveStatus, error) {
+	info, err := s.cluster.Info(id)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	rows, cols := info.Rows, info.Cols
+	if rows != cols {
+		return SolveStatus{}, fmt.Errorf("server: solver sessions need a square matrix; %q is %dx%d", id, rows, cols)
+	}
+	if math.IsNaN(req.Tol) || math.IsInf(req.Tol, 0) || req.Tol < 0 {
+		return SolveStatus{}, fmt.Errorf("server: tolerance %g is not a finite non-negative number", req.Tol)
+	}
+	if req.MaxIters < 0 {
+		return SolveStatus{}, fmt.Errorf("server: negative step budget %d", req.MaxIters)
+	}
+	if req.MaxIters > MaxSolveIters {
+		return SolveStatus{}, fmt.Errorf("server: step budget %d exceeds the %d cap", req.MaxIters, MaxSolveIters)
+	}
+	maxIters := req.MaxIters
+	if maxIters == 0 {
+		maxIters = DefaultSolveIters
+	}
+	if req.X0 != nil && len(req.X0) != rows {
+		return SolveStatus{}, fmt.Errorf("server: matrix %q is %dx%d, len(x0)=%d", id, rows, cols, len(req.X0))
+	}
+	if !finiteVec(req.X0) {
+		return SolveStatus{}, fmt.Errorf("server: x0 contains non-finite values")
+	}
+	sweepBytes, err := s.cluster.RequestBytes(id)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	var bytesPerIter int64
+	switch req.Method {
+	case "cg":
+		if len(req.B) != rows {
+			return SolveStatus{}, fmt.Errorf("server: matrix %q is %dx%d, len(b)=%d", id, rows, cols, len(req.B))
+		}
+		if !finiteVec(req.B) {
+			return SolveStatus{}, fmt.Errorf("server: b contains non-finite values")
+		}
+		sym, err := s.cluster.IsSymmetric(id)
+		if err != nil {
+			return SolveStatus{}, err
+		}
+		if !sym {
+			return SolveStatus{}, fmt.Errorf("%w: conjugate gradient needs a symmetric matrix and %q is not", ErrNotSymmetric, id)
+		}
+		bytesPerIter = traffic.CGIterationBytes(sweepBytes, rows)
+	case "power":
+		if req.B != nil {
+			return SolveStatus{}, fmt.Errorf("server: power iteration takes x0 (a start vector), not b")
+		}
+		bytesPerIter = traffic.PowerIterationBytes(sweepBytes, rows)
+	default:
+		return SolveStatus{}, fmt.Errorf("server: unknown solver method %q (want cg or power)", req.Method)
+	}
+
+	class, err := s.resolveClass(req.Class)
+	if err != nil {
+		return SolveStatus{}, err
+	}
+	chargeIters := min(solveChargeIters, maxIters)
+	acct, err := s.admitSolveBurst(req.Tenant, class, bytesPerIter*int64(chargeIters))
+	if err != nil {
+		return SolveStatus{}, err
+	}
+
+	gen := s.cluster.Generation(id)
+	ss := &solveSession{
+		matrixID: id, method: req.Method, det: s.cfg.Deterministic,
+		tol: req.Tol, maxIters: maxIters, rows: rows, bytesPerIter: bytesPerIter,
+		created: time.Now(),
+		cancel:  make(chan struct{}), done: make(chan struct{}),
+		state: stateRunning, genFirst: gen, genLast: gen,
+		class: class, acct: acct, charged: chargeIters,
+	}
+	if err := s.registerSession(ss); err != nil {
+		return SolveStatus{}, err
+	}
+	s.log.Info("solve session created",
+		slog.String("sid", ss.id), slog.String("matrix", id),
+		slog.String("method", ss.method), slog.Int("max_iters", maxIters),
+		slog.Int("generation", gen))
+	go s.runSolve(nil, ss, req, maxIters)
+	return ss.snapshot(true), nil
+}
+
+// admitSolveBurst charges the session's first iteration-burst against
+// the tenant's bucket and records the admission in the ledgers; nil
+// account (with nil error) means the scheduling layer is off.
+func (s *Server) admitSolveBurst(tenant string, class sched.Class, burstBytes int64) (*tenantAccount, error) {
+	sc := s.sched
+	if sc == nil {
+		return nil, nil
+	}
+	acct := sc.account(tenant)
+	if acct.bucket != nil {
+		if ok, retry := acct.bucket.Take(burstBytes); !ok {
+			acct.rejected.Add(1)
+			acct.rejectedBytes.Add(burstBytes)
+			sc.classes[class].rejected.Add(1)
+			if tenant == "" {
+				tenant = DefaultTenant
+			}
+			return nil, &AdmissionError{Tenant: tenant, Cost: burstBytes, RetryAfter: retry}
+		}
+	}
+	acct.served.Add(1)
+	sc.classes[class].served.Add(1)
+	sc.chargeBytes(acct, class, burstBytes)
+	return acct, nil
+}
+
+// registerSession admits ss under the session cap (evicting the oldest
+// finished session if needed), assigns its id, and tracks the session
+// goroutine the caller is about to start.
+func (s *Server) registerSession(ss *solveSession) error {
 	s.sessMu.Lock()
 	if s.closed {
 		s.sessMu.Unlock()
-		return SolveStatus{}, fmt.Errorf("server: shutting down")
+		return fmt.Errorf("server: shutting down")
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictFinishedLocked() {
 		s.sessMu.Unlock()
-		return SolveStatus{}, fmt.Errorf("%w: %d resident, all running", ErrTooManySessions, s.cfg.MaxSessions)
+		return fmt.Errorf("%w: %d resident, all running", ErrTooManySessions, s.cfg.MaxSessions)
 	}
 	s.sessSeq++
 	ss.id = fmt.Sprintf("s%d", s.sessSeq)
@@ -351,12 +479,7 @@ func (s *Server) Solve(id string, req SolveRequest) (SolveStatus, error) {
 	s.sessWG.Add(1)
 	s.sessMu.Unlock()
 	s.st.solveSessions.Add(1)
-	s.log.Info("solve session created",
-		slog.String("sid", ss.id), slog.String("matrix", e.ID),
-		slog.String("method", ss.method), slog.Int("max_iters", maxIters),
-		slog.Int("generation", sv.gen))
-	go s.runSolve(e, ss, req, maxIters)
-	return ss.snapshot(true), nil
+	return nil
 }
 
 // evictFinishedLocked removes the oldest finished session to admit a new
@@ -388,65 +511,112 @@ func (s *Server) evictFinishedLocked() bool {
 func (s *Server) finishSeq() uint64 { return s.sessFinishSeq.Add(1) }
 
 // runSolve is the session goroutine: it builds the solver over the
-// serving snapshot's width-1 fused path and steps it to a terminal state,
-// publishing progress after every iteration.
+// session's SpMV — the local serving snapshot's width-1 fused path when
+// e is non-nil, the cluster-sharded fan-out when e is nil — and steps it
+// to a terminal state, publishing progress after every iteration.
 func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters int) {
 	defer s.sessWG.Done()
 	defer close(ss.done)
 
-	// apply is the solver's SpMV: the entry's current snapshot, width-1
-	// fused view, sharded through the pool — exactly what a width-1
-	// deterministic Mul runs, so solver bits match serving bits and a
-	// concurrent promotion swaps in mid-solve without (in deterministic
-	// mode) moving them. sweepDur accumulates the iteration's measured
-	// sweep time and sweepGen the generation that sweep actually ran —
-	// the iteration trace must report the sweep's own snapshot, not
-	// whatever e.cur holds by trace time. Step calls apply synchronously
-	// on this goroutine, so plain variables suffice.
+	// Local apply is the entry's current snapshot, width-1 fused view,
+	// sharded through the pool — exactly what a width-1 deterministic Mul
+	// runs, so solver bits match serving bits and a concurrent promotion
+	// swaps in mid-solve without (in deterministic mode) moving them.
+	// sweepDur accumulates the iteration's measured sweep time and
+	// sweepGen the generation that sweep actually ran — the iteration
+	// trace must report the sweep's own snapshot, not whatever e.cur
+	// holds by trace time. Step calls apply synchronously on this
+	// goroutine, so plain variables suffice.
 	var sweepDur time.Duration
 	var sweepGen int
-	apply := func(y, x []float64) error {
-		sv := e.cur.Load()
-		mo, err := fusedView(sv, 1)
-		if err != nil {
-			return err
-		}
-		clear(y)
-		// Session sweeps queue at the same priority gate as Mul batches,
-		// under the session's class — a bulk solve waits behind latency
-		// traffic (until aged), and the gate wait stays out of the sweep's
-		// roofline measurement.
-		sweepBytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1)
-		gated := false
-		if sc := s.sched; sc != nil && sc.gate != nil {
-			if !sc.gate.Acquire(ss.class, sweepBytes, ss.cancel) {
-				return errSessionCancelled
+	var apply func(y, x []float64) error
+	if e != nil {
+		apply = func(y, x []float64) error {
+			sv := e.cur.Load()
+			mo, err := fusedView(sv, 1)
+			if err != nil {
+				return err
 			}
-			gated = true
+			clear(y)
+			// Session sweeps queue at the same priority gate as Mul batches,
+			// under the session's class — a bulk solve waits behind latency
+			// traffic (until aged), and the gate wait stays out of the sweep's
+			// roofline measurement.
+			sweepBytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1)
+			gated := false
+			if sc := s.sched; sc != nil && sc.gate != nil {
+				if !sc.gate.Acquire(ss.class, sweepBytes, ss.cancel) {
+					return errSessionCancelled
+				}
+				gated = true
+			}
+			var t0 time.Time
+			if s.obs != nil {
+				t0 = time.Now()
+			}
+			err = s.runFused(sv, mo, y, x)
+			if gated {
+				s.sched.gate.Release()
+			}
+			if err != nil {
+				return err
+			}
+			if s.obs != nil {
+				d := time.Since(t0)
+				sweepDur += d
+				s.obs.stage.Observe(stageSolveSweep, d)
+				sv.roof.Record(d, sweepBytes)
+			}
+			s.recordSweep(e, sv, 1, false)
+			sweepGen = sv.gen
+			ss.mu.Lock()
+			ss.genLast = sv.gen
+			ss.mu.Unlock()
+			return nil
 		}
-		var t0 time.Time
-		if s.obs != nil {
-			t0 = time.Now()
+	} else {
+		// Cluster apply: the sharded fan-out under the session id as
+		// affinity key. The gate charge is the fleet-wide modeled bytes of
+		// the current topology, reloaded per sweep — a live reband changes
+		// the cost, and the generation fields record it. The row partition
+		// never changes per-row summation order, so deterministic-mode
+		// trajectory bits survive a mid-solve reband exactly as they
+		// survive a local re-tune promotion.
+		apply = func(y, x []float64) error {
+			cost, err := s.cluster.RequestBytes(ss.matrixID)
+			if err != nil {
+				return err
+			}
+			gated := false
+			if sc := s.sched; sc != nil && sc.gate != nil {
+				if !sc.gate.Acquire(ss.class, cost, ss.cancel) {
+					return errSessionCancelled
+				}
+				gated = true
+			}
+			var t0 time.Time
+			if s.obs != nil {
+				t0 = time.Now()
+			}
+			yv, err := s.cluster.MulOpts(ss.matrixID, x, ClusterMulOptions{Affinity: ss.id})
+			if gated {
+				s.sched.gate.Release()
+			}
+			if err != nil {
+				return err
+			}
+			copy(y, yv)
+			if s.obs != nil {
+				d := time.Since(t0)
+				sweepDur += d
+				s.obs.stage.Observe(stageSolveSweep, d)
+			}
+			sweepGen = s.cluster.Generation(ss.matrixID)
+			ss.mu.Lock()
+			ss.genLast = sweepGen
+			ss.mu.Unlock()
+			return nil
 		}
-		err = s.runFused(sv, mo, y, x)
-		if gated {
-			s.sched.gate.Release()
-		}
-		if err != nil {
-			return err
-		}
-		if s.obs != nil {
-			d := time.Since(t0)
-			sweepDur += d
-			s.obs.stage.Observe(stageSolveSweep, d)
-			sv.roof.Record(d, sweepBytes)
-		}
-		s.recordSweep(e, sv, 1, false)
-		sweepGen = sv.gen
-		ss.mu.Lock()
-		ss.genLast = sv.gen
-		ss.mu.Unlock()
-		return nil
 	}
 	opt := solve.Options{
 		Tol: ss.tol, MaxIters: maxIters,
@@ -470,7 +640,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 		}
 		solver = cg
 	default: // validated to "power" at admission
-		pw, err := solve.NewPower(apply, e.rows, req.X0, opt)
+		pw, err := solve.NewPower(apply, ss.rows, req.X0, opt)
 		if err != nil {
 			ss.finish(s, stateFailed, err.Error(), nil, 0, nil)
 			return
@@ -511,7 +681,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			wall := time.Since(iterStart)
 			s.obs.stage.Observe(stageSolveIter, wall)
 			if s.obs.sampler.Sample() {
-				s.obs.traceSolveIter(ss.method+"_iter", e.ID, sweepGen, iterStart, sweepDur, wall)
+				s.obs.traceSolveIter(ss.method+"_iter", ss.matrixID, sweepGen, iterStart, sweepDur, wall)
 			}
 		}
 		ss.publish(solver)

@@ -13,6 +13,9 @@
 //     members — modeled bandwidth-bound aggregate speedup (deterministic,
 //     gated) with bitwise parity against single-node serving enforced as a
 //     hard failure.
+//   - routing: the 2-fast/1-slow K=3 fleet under round-robin vs
+//     least-loaded — modeled bandwidth-bound throughput of each policy on
+//     the registered band placement (deterministic; the speedup is gated).
 //   - symmetry: a symmetrized Cantilever twin served from upper-triangle
 //     (SymCSR) storage vs its general-CSR twin — the modeled matrix-stream
 //     ratio (deterministic, gated at ≈0.5) with numerical agreement
@@ -290,6 +293,75 @@ func shardingMetrics(metrics map[string]Metric) {
 	}
 }
 
+// routeSkewMetrics models the routing-policy gate on a skewed fleet: the
+// K=3, replicas=2 topology served by two full-speed members and one at a
+// quarter of the socket's sustained bandwidth. Round-robin splits every
+// band's traffic evenly across its replicas, so the fleet's rate is set
+// by the slow member; the least-loaded policy converges on splitting
+// each band in proportion to its replicas' bandwidth (in-flight modeled
+// bytes drain slower on the slow node, so the router steers away until
+// drain rates match). Both rates fall out of the bandwidth-bound model
+// applied to the registered topology's real band placement, so the
+// speedup is deterministic and gated. examples/shard-loadgen runs the
+// measured (wall-clock) twin of this scenario.
+func routeSkewMetrics(metrics map[string]Metric) {
+	const k = 3
+	m, err := spmv.GenerateSuite("LP", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transports := make([]server.Transport, k)
+	for i := range transports {
+		ms := server.New(pinnedConfig())
+		defer ms.Close()
+		transports[i] = server.NewLocalTransport(fmt.Sprintf("node%d", i), ms)
+	}
+	cluster, err := server.NewCluster(transports, server.ClusterConfig{
+		Replicas: 2, Policy: server.RouteLeastLoaded,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sinfo, err := cluster.RegisterSharded("m", "LP", m, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	amd := machine.AMDX2()
+	nodeBW := amd.MemCtrl.PerSocketGBs * amd.SustainedBWFracSocket
+	bw := map[string]float64{"node0": nodeBW, "node1": nodeBW, "node2": nodeBW / 4}
+
+	// Per-request modeled bytes landing on each member under each policy.
+	rrBytes := make(map[string]float64)
+	llBytes := make(map[string]float64)
+	for _, b := range sinfo.Bands {
+		var pool float64
+		for _, name := range b.Members {
+			pool += bw[name]
+		}
+		for _, name := range b.Members {
+			rrBytes[name] += float64(b.SweepBytes) / float64(len(b.Members))
+			llBytes[name] += float64(b.SweepBytes) * bw[name] / pool
+		}
+	}
+	// A member sustaining bw serves at most bw/bytes requests/s; the fleet
+	// is bounded by its slowest member.
+	fleetRate := func(bytes map[string]float64) float64 {
+		rate := 0.0
+		for name, by := range bytes {
+			if r := traffic.SustainedSweepRate(bw[name], int64(by)); rate == 0 || r < rate {
+				rate = r
+			}
+		}
+		return rate
+	}
+	rr := fleetRate(rrBytes)
+	ll := fleetRate(llBytes)
+	metrics["route_skew_rr_req_s"] = Metric{Value: rr, Unit: "req/s"}
+	metrics["route_skew_ll_req_s"] = Metric{Value: ll, Unit: "req/s"}
+	metrics["route_skew_ll_speedup"] = Metric{Value: ll / rr, Unit: "x", Gated: true, HigherBetter: true}
+}
+
 // symmetricMetrics registers a symmetrized Cantilever twin both general
 // (naive CSR32 tuner) and symmetric (upper-triangle storage), enforces
 // numerical agreement, and reports the deterministic matrix-stream ratio —
@@ -352,6 +424,7 @@ func main() {
 	kernelMetrics(metrics)
 	servingMetrics(metrics)
 	shardingMetrics(metrics)
+	routeSkewMetrics(metrics)
 	symmetricMetrics(metrics)
 	obsOverheadMetrics(metrics)
 	schedOverheadMetrics(metrics)
