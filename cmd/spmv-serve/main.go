@@ -69,6 +69,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "resident solver-session cap, 429 beyond it (0 = 16)")
 	retuneInterval := flag.Duration("retune-interval", 30*time.Second, "online re-tune scan interval; 0 disables workload-aware re-tuning")
 	retuneDrift := flag.Float64("retune-drift", server.DefaultRetuneDrift, "fused-width drift (1 - min/max) that triggers a re-tune evaluation")
+	recompactThreshold := flag.Float64("recompact-threshold", server.DefaultRecompactThreshold, "overlay-to-matrix modeled-bytes ratio that triggers background delta recompaction (negative disables)")
 	members := flag.Int("members", 0, "in-process shard member nodes (forms a cluster; for demos and smoke tests)")
 	peers := flag.String("peers", "", "comma-separated member base URLs (http://host:port) forming a cluster")
 	replicas := flag.Int("replicas", 1, "member replicas per shard band")
@@ -113,6 +114,7 @@ func main() {
 	cfg.MaxSessions = *maxSessions
 	cfg.RetuneInterval = *retuneInterval
 	cfg.RetuneDrift = *retuneDrift
+	cfg.RecompactThreshold = *recompactThreshold
 	cfg.ObsSample = *obsSample
 	cfg.ObsRing = *obsRing
 	cfg.RooflineGBs = *rooflineGBs

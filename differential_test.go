@@ -29,6 +29,7 @@ import (
 	spmv "repro"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/matrix/delta"
 	"repro/internal/solve"
 )
 
@@ -618,5 +619,199 @@ func TestDifferentialBLAS1(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// ---- Delta-overlay differential section -----------------------------
+//
+// Mutable matrices serve sweeps as (base operator pass + overlay
+// overwrite of the dirty rows). The contract extends the CSR-family
+// table above across mutation: on the deterministic CSR-family paths,
+// the overlay pass must reproduce a from-scratch rebuild of the mutated
+// matrix BIT FOR BIT — at every thread count, every fused width, and
+// regardless of how the delta stream was split into batches.
+
+// deltaStream builds a deterministic mixed set/add/del op stream over an
+// R×C base. Dels target the same coordinate distribution as sets, so a
+// fair share of them hit existing entries (including entries earlier
+// deltas created).
+func deltaStream(rows, cols, n int, seed int64) []delta.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]delta.Op, 0, n)
+	for k := 0; k < n; k++ {
+		i, j := int32(rng.Intn(rows)), int32(rng.Intn(cols))
+		switch rng.Intn(5) {
+		case 0, 1:
+			ops = append(ops, delta.Op{Kind: delta.Set, Row: i, Col: j, Val: rng.NormFloat64()})
+		case 2, 3:
+			ops = append(ops, delta.Op{Kind: delta.Add, Row: i, Col: j, Val: rng.NormFloat64()})
+		default:
+			ops = append(ops, delta.Op{Kind: delta.Del, Row: i, Col: j})
+		}
+	}
+	return ops
+}
+
+// logOver builds a delta log indexing m's stored entries.
+func logOver(m *spmv.Matrix) *delta.Log {
+	rows, cols := m.Dims()
+	return delta.NewLog(rows, cols, func(yield func(i, j int32, v float64)) {
+		m.Entries(func(i, j int, v float64) { yield(int32(i), int32(j), v) })
+	})
+}
+
+// foldToMatrix rebuilds the mutated matrix from the log.
+func foldToMatrix(t *testing.T, l *delta.Log, rows, cols int) *spmv.Matrix {
+	t.Helper()
+	m := spmv.NewMatrix(rows, cols)
+	l.Fold(func(i, j int32, v float64) {
+		if err := m.Set(int(i), int(j), v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return m
+}
+
+// overlayLanes runs one fused sweep the way the serving layer does —
+// base multi-operator pass over the interleaved block, then the overlay
+// overwrite of dirty rows — and returns the de-interleaved lanes.
+func overlayLanes(t *testing.T, mo *spmv.MultiOperator, ov *delta.Overlay, rows int, xs [][]float64) [][]float64 {
+	t.Helper()
+	width := len(xs)
+	xBlock, err := kernel.Interleave(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yBlock := make([]float64, rows*width)
+	if err := mo.MulAddBlock(yBlock, xBlock); err != nil {
+		t.Fatal(err)
+	}
+	if err := kernel.OverlayRows(yBlock, xBlock, width, ov.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	ys, err := kernel.Deinterleave(yBlock, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ys
+}
+
+// TestDifferentialOverlay checks overlay-vs-rebuild bitwise identity on
+// both CSR-family multi-RHS views (MultiVec and the wide kernels), over
+// the structural zoo, at threads 1/2/4 and widths 1/4/8.
+func TestDifferentialOverlay(t *testing.T) {
+	nops := 200
+	if testing.Short() {
+		nops = 80
+	}
+	for ci, tc := range diffCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, cols := tc.m.Dims()
+			l := logOver(tc.m)
+			if err := l.Apply(deltaStream(rows, cols, nops, int64(1000+ci))); err != nil {
+				t.Fatal(err)
+			}
+			ov := l.Overlay()
+			folded := foldToMatrix(t, l, rows, cols)
+			xs := laneVectors(cols, 8, 555)
+			for _, threads := range diffThreads {
+				base, err := spmv.CompileParallel(tc.m, spmv.NaiveOptions(), threads, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rebuilt, err := spmv.CompileParallel(folded, spmv.NaiveOptions(), threads, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, width := range diffWidths {
+					views := map[string]func(op *spmv.Operator) (*spmv.MultiOperator, error){
+						"multi": func(op *spmv.Operator) (*spmv.MultiOperator, error) { return op.Multi(width) },
+						"wide":  func(op *spmv.Operator) (*spmv.MultiOperator, error) { return op.WideMulti(width) },
+					}
+					for vn, view := range views {
+						bmo, err := view(base)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rmo, err := view(rebuilt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := overlayLanes(t, bmo, ov, rows, xs[:width])
+						want, err := rmo.MulAll(xs[:width])
+						if err != nil {
+							t.Fatal(err)
+						}
+						for v := range got {
+							checkBitwise(t,
+								fmt.Sprintf("%s/threads=%d/width=%d/lane%d", vn, threads, width, v),
+								got[v], want[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialOverlayBatchSplits checks that the overlay — and the
+// bits a sweep over it produces — depends only on the total op sequence,
+// never on batch boundaries: the same stream applied as one batch,
+// per-op batches, and two different chunkings yields byte-identical
+// overlay snapshots and bitwise identical sweep results.
+func TestDifferentialOverlayBatchSplits(t *testing.T) {
+	base := cooToMatrix(t, randomCOO(t, 150, 130, 900, 17, false))
+	rows, cols := base.Dims()
+	stream := deltaStream(rows, cols, 160, 29)
+
+	apply := func(chunk int) *delta.Log {
+		l := logOver(base)
+		if chunk <= 0 {
+			chunk = len(stream)
+		}
+		for lo := 0; lo < len(stream); lo += chunk {
+			hi := min(lo+chunk, len(stream))
+			if err := l.Apply(stream[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l
+	}
+
+	ref := apply(0).Overlay()
+	xs := laneVectors(cols, 4, 777)
+	op, err := spmv.CompileParallel(base, spmv.NaiveOptions(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := op.WideMulti(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLanes := overlayLanes(t, mo, ref, rows, xs)
+
+	for _, chunk := range []int{1, 7, 31} {
+		ov := apply(chunk).Overlay()
+		if ov.Seq() != ref.Seq() || ov.DirtyRows() != ref.DirtyRows() || ov.Entries() != ref.Entries() {
+			t.Fatalf("chunk=%d: overlay shape (seq=%d rows=%d entries=%d) != reference (seq=%d rows=%d entries=%d)",
+				chunk, ov.Seq(), ov.DirtyRows(), ov.Entries(), ref.Seq(), ref.DirtyRows(), ref.Entries())
+		}
+		for r, row := range ov.Rows() {
+			want := ref.Rows()[r]
+			if row.Index != want.Index || len(row.Col) != len(want.Col) {
+				t.Fatalf("chunk=%d: dirty row %d shape mismatch", chunk, r)
+			}
+			for k := range row.Col {
+				if row.Col[k] != want.Col[k] || math.Float64bits(row.Val[k]) != math.Float64bits(want.Val[k]) {
+					t.Fatalf("chunk=%d: row %d entry %d (%d,%x) != (%d,%x)",
+						chunk, row.Index, k, row.Col[k], math.Float64bits(row.Val[k]),
+						want.Col[k], math.Float64bits(want.Val[k]))
+				}
+			}
+		}
+		lanes := overlayLanes(t, mo, ov, rows, xs)
+		for v := range lanes {
+			checkBitwise(t, fmt.Sprintf("chunk=%d/lane%d", chunk, v), lanes[v], refLanes[v])
+		}
 	}
 }

@@ -1,0 +1,327 @@
+// Package delta is the mutable-matrix substrate of the serving layer: a
+// seq-numbered COO delta log over an immutable base matrix, the canonical
+// per-row overlay the sweep path scans, and the fold that recompacts the
+// log into a fresh base.
+//
+// The design is driven by one invariant: a sweep over (base operator +
+// overlay) must produce the SAME BITS as a sweep over a from-scratch
+// rebuild of the mutated matrix, for the CSR-family kernels the
+// deterministic serving mode uses. Those kernels accumulate each row
+// independently, in ascending column order, from a fresh accumulator —
+// and matrix.NewCSR sums duplicate coordinates in insertion order. So the
+// overlay stores, per dirty row, the row's canonical merged content
+// (ascending unique columns, duplicate values summed left-to-right in
+// insertion order): overwriting a dirty row's destination with a dot
+// product over that content in column order reproduces the rebuilt CSR's
+// row bit for bit, while untouched rows already match because per-row
+// results never depend on other rows. The same argument makes results
+// invariant to delta batch boundaries: the canonical row depends only on
+// the total op sequence, never on how it was batched.
+//
+// Application order inside a batch is the ops' sequence order (each op's
+// global seq number is its position in the log), which pins the semantics
+// of duplicate coordinates within one batch: later ops see earlier ones.
+package delta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind is one delta operation's effect on a coordinate.
+type Kind uint8
+
+const (
+	// Set replaces every stored entry at (row, col) with a single entry of
+	// the given value (creating it when absent).
+	Set Kind = iota
+	// Add appends value at (row, col) — MatrixMarket additive semantics,
+	// exactly like appending a duplicate triplet to the source COO.
+	Add
+	// Del removes every stored entry at (row, col); a no-op when absent.
+	Del
+)
+
+// String names the kind as the wire format spells it.
+func (k Kind) String() string {
+	switch k {
+	case Set:
+		return "set"
+	case Add:
+		return "add"
+	case Del:
+		return "del"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one seq-ordered mutation. Its seq number is implicit: the op's
+// position in the log.
+type Op struct {
+	Kind     Kind
+	Row, Col int32
+	Val      float64 // ignored for Del
+}
+
+// Row is one dirty row's canonical merged content: ascending unique
+// columns with duplicate values summed in insertion order — exactly the
+// row a from-scratch matrix.NewCSR of the mutated matrix would store.
+// The slices are immutable once published (the log copies on write).
+type Row struct {
+	Index int32
+	Col   []int32
+	Val   []float64
+}
+
+// Overlay is one immutable snapshot of the log's dirty rows, safe to
+// share with concurrent sweeps while later batches apply copy-on-write.
+type Overlay struct {
+	rows    []Row // ascending Index
+	seq     int   // ops folded into this snapshot
+	entries int64 // total merged entries across rows
+}
+
+// Rows returns the dirty rows in ascending row order. Callers must not
+// mutate them.
+func (ov *Overlay) Rows() []Row { return ov.rows }
+
+// Seq returns the number of log ops this snapshot reflects.
+func (ov *Overlay) Seq() int { return ov.seq }
+
+// DirtyRows returns the number of rows carrying overlay content.
+func (ov *Overlay) DirtyRows() int { return len(ov.rows) }
+
+// Entries returns the total merged entries across dirty rows — the
+// per-sweep overlay scan length the traffic model charges.
+func (ov *Overlay) Entries() int64 { return ov.entries }
+
+// Log accumulates seq-ordered deltas over a base matrix. It retains its
+// own stable row-indexed copy of the base (the price of O(row) patches
+// and a self-contained fold), so the caller's matrix is never touched.
+// The zero value is not usable; construct with NewLog. Callers serialize
+// Apply/Fold/Overlay externally (the serving layer holds the entry's
+// tune mutex); Overlay snapshots are safe to read concurrently.
+type Log struct {
+	rows, cols int
+
+	// Stable row index of the base: the entries of row i, in insertion
+	// order, are base[rowPtr[i]:rowPtr[i+1]].
+	rowPtr   []int64
+	baseCol  []int32
+	baseVal  []float64
+	baseNNZ  int64
+	ops      []Op
+	dirty    map[int32]*Row // latest canonical content per dirty row
+	entries  int64          // total merged entries across dirty rows
+	snapshot *Overlay       // cached until the next Apply
+}
+
+// NewLog builds a delta log over a rows×cols base matrix whose stored
+// entries (in insertion order, duplicates included) are produced by each.
+func NewLog(rows, cols int, each func(yield func(i, j int32, v float64))) *Log {
+	l := &Log{rows: rows, cols: cols, dirty: make(map[int32]*Row)}
+	// Two passes build the stable row index: count, then fill in original
+	// order — a counting sort by row that preserves insertion order within
+	// each row, which is the order duplicate coordinates must be summed in.
+	counts := make([]int64, rows+1)
+	each(func(i, j int32, v float64) { counts[i+1]++ })
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	l.rowPtr = counts
+	n := counts[rows]
+	l.baseCol = make([]int32, n)
+	l.baseVal = make([]float64, n)
+	l.baseNNZ = n
+	next := make([]int64, rows)
+	for i := range next {
+		next[i] = counts[i]
+	}
+	each(func(i, j int32, v float64) {
+		k := next[i]
+		l.baseCol[k] = j
+		l.baseVal[k] = v
+		next[i] = k + 1
+	})
+	return l
+}
+
+// Seq returns the number of ops applied so far — the next op's seq
+// number, and the capture point Fold and Tail work against.
+func (l *Log) Seq() int { return len(l.ops) }
+
+// BaseNNZ returns the stored-entry count of the base the log indexes.
+func (l *Log) BaseNNZ() int64 { return l.baseNNZ }
+
+// Validate checks one batch against the log's dimensions without
+// applying it: coordinates must be in range and Set/Add values finite.
+// Batches are atomic — Apply rejects the whole batch on the first bad op.
+func (l *Log) Validate(batch []Op) error {
+	for n, op := range batch {
+		if op.Kind > Del {
+			return fmt.Errorf("delta %d: unknown op kind %d", n, op.Kind)
+		}
+		if op.Row < 0 || int(op.Row) >= l.rows || op.Col < 0 || int(op.Col) >= l.cols {
+			return fmt.Errorf("delta %d: coordinate (%d, %d) outside %dx%d",
+				n, op.Row, op.Col, l.rows, l.cols)
+		}
+		if op.Kind != Del && (math.IsNaN(op.Val) || math.IsInf(op.Val, 0)) {
+			return fmt.Errorf("delta %d: non-finite value %g", n, op.Val)
+		}
+	}
+	return nil
+}
+
+// Apply validates and applies one batch in sequence order. On error the
+// log is unchanged (batches are atomic). Published Overlay snapshots are
+// never mutated: touched rows are rebuilt copy-on-write.
+func (l *Log) Apply(batch []Op) error {
+	if err := l.Validate(batch); err != nil {
+		return err
+	}
+	// Rows already handed out via Overlay must not be written in place;
+	// one fresh copy per touched row per batch is enough.
+	touched := make(map[int32]bool)
+	for _, op := range batch {
+		row := l.dirty[op.Row]
+		if row == nil {
+			row = l.canonicalBaseRow(op.Row)
+			// The row turns dirty: its whole canonical content now counts
+			// toward the overlay scan.
+			l.entries += int64(len(row.Col))
+		} else if !touched[op.Row] {
+			row = &Row{
+				Index: row.Index,
+				Col:   append([]int32(nil), row.Col...),
+				Val:   append([]float64(nil), row.Val...),
+			}
+		}
+		touched[op.Row] = true
+		l.entries -= int64(len(row.Col))
+		applyOp(row, op)
+		l.entries += int64(len(row.Col))
+		l.dirty[op.Row] = row
+		l.ops = append(l.ops, op)
+	}
+	l.snapshot = nil
+	return nil
+}
+
+// canonicalBaseRow folds base row i into canonical merged form: stable
+// sort by column, then duplicates summed left-to-right — matching
+// matrix.NewCSR's insertion-order duplicate summation bit for bit.
+func (l *Log) canonicalBaseRow(i int32) *Row {
+	lo, hi := l.rowPtr[i], l.rowPtr[i+1]
+	n := int(hi - lo)
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	cols := l.baseCol[lo:hi]
+	vals := l.baseVal[lo:hi]
+	sort.SliceStable(order, func(a, b int) bool { return cols[order[a]] < cols[order[b]] })
+	row := &Row{Index: i, Col: make([]int32, 0, n), Val: make([]float64, 0, n)}
+	for _, k := range order {
+		c, v := cols[k], vals[k]
+		if m := len(row.Col); m > 0 && row.Col[m-1] == c {
+			row.Val[m-1] += v // duplicates sum in insertion order
+			continue
+		}
+		row.Col = append(row.Col, c)
+		row.Val = append(row.Val, v)
+	}
+	return row
+}
+
+// applyOp edits one canonical row in place (the caller owns it).
+func applyOp(row *Row, op Op) {
+	k := sort.Search(len(row.Col), func(i int) bool { return row.Col[i] >= op.Col })
+	present := k < len(row.Col) && row.Col[k] == op.Col
+	switch op.Kind {
+	case Set:
+		if present {
+			row.Val[k] = op.Val
+			return
+		}
+		row.Col = append(row.Col, 0)
+		copy(row.Col[k+1:], row.Col[k:])
+		row.Col[k] = op.Col
+		row.Val = append(row.Val, 0)
+		copy(row.Val[k+1:], row.Val[k:])
+		row.Val[k] = op.Val
+	case Add:
+		if present {
+			// Summing onto the accumulated value reproduces the rebuild's
+			// left-to-right duplicate fold: (((v1+v2)+…)+vNew).
+			row.Val[k] += op.Val
+			return
+		}
+		row.Col = append(row.Col, 0)
+		copy(row.Col[k+1:], row.Col[k:])
+		row.Col[k] = op.Col
+		row.Val = append(row.Val, 0)
+		copy(row.Val[k+1:], row.Val[k:])
+		row.Val[k] = op.Val
+	case Del:
+		if !present {
+			return
+		}
+		row.Col = append(row.Col[:k], row.Col[k+1:]...)
+		row.Val = append(row.Val[:k], row.Val[k+1:]...)
+	}
+}
+
+// Overlay returns the current immutable snapshot of the dirty rows,
+// cached until the next Apply.
+func (l *Log) Overlay() *Overlay {
+	if l.snapshot != nil {
+		return l.snapshot
+	}
+	rows := make([]Row, 0, len(l.dirty))
+	for _, row := range l.dirty {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
+	l.snapshot = &Overlay{rows: rows, seq: len(l.ops), entries: l.entries}
+	return l.snapshot
+}
+
+// Tail returns the ops applied after seq (a capture point from Seq), in
+// order. The returned slice aliases the log; callers only read it.
+func (l *Log) Tail(seq int) []Op { return l.ops[seq:] }
+
+// Fold emits the mutated matrix's entries: clean base rows in their
+// original insertion order, then each dirty row's canonical merged
+// content. Compiling the emitted matrix yields a CSR whose per-row
+// columns and values are bitwise identical to a from-scratch rebuild
+// (apply every op to the base COO, then compile): clean rows are
+// untouched either way, and a dirty row's canonical content IS the
+// rebuilt CSR row by construction.
+func (l *Log) Fold(emit func(i, j int32, v float64)) {
+	for i := int32(0); int(i) < l.rows; i++ {
+		if _, ok := l.dirty[i]; ok {
+			continue
+		}
+		for k := l.rowPtr[i]; k < l.rowPtr[i+1]; k++ {
+			emit(i, l.baseCol[k], l.baseVal[k])
+		}
+	}
+	// Dirty rows in ascending order: NewCSR re-sorts by (row, col) anyway,
+	// but a deterministic emission order keeps the folded COO itself
+	// reproducible.
+	for _, row := range l.Overlay().rows {
+		for k := range row.Col {
+			emit(row.Index, row.Col[k], row.Val[k])
+		}
+	}
+}
+
+// FoldNNZ returns the stored-entry count Fold will emit.
+func (l *Log) FoldNNZ() int64 {
+	var dirtyBase int64
+	for i := range l.dirty {
+		dirtyBase += l.rowPtr[i+1] - l.rowPtr[i]
+	}
+	return l.baseNNZ - dirtyBase + l.entries
+}

@@ -1,0 +1,257 @@
+package delta
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// baseTriplets is a small base with duplicate coordinates (row 1 has two
+// entries at column 2, which must sum in insertion order) and an empty row.
+func baseTriplets() []matrix.Triplet {
+	return []matrix.Triplet{
+		{Row: 0, Col: 0, Val: 1.5},
+		{Row: 1, Col: 2, Val: 0.25},
+		{Row: 3, Col: 1, Val: -2},
+		{Row: 1, Col: 0, Val: 4},
+		{Row: 1, Col: 2, Val: 0.125}, // duplicate of (1,2)
+		{Row: 3, Col: 3, Val: 7},
+	}
+}
+
+func logFromTriplets(t *testing.T, rows, cols int, ts []matrix.Triplet) *Log {
+	t.Helper()
+	return NewLog(rows, cols, func(yield func(i, j int32, v float64)) {
+		for _, tr := range ts {
+			yield(int32(tr.Row), int32(tr.Col), tr.Val)
+		}
+	})
+}
+
+// rebuild applies ops to a triplet list with reference semantics: Set
+// replaces every entry at the coordinate with one appended entry, Add
+// appends, Del removes every entry at the coordinate.
+func rebuild(ts []matrix.Triplet, ops []Op) []matrix.Triplet {
+	out := append([]matrix.Triplet(nil), ts...)
+	for _, op := range ops {
+		switch op.Kind {
+		case Set, Del:
+			kept := out[:0]
+			for _, tr := range out {
+				if int32(tr.Row) != op.Row || int32(tr.Col) != op.Col {
+					kept = append(kept, tr)
+				}
+			}
+			out = kept
+			if op.Kind == Set {
+				out = append(out, matrix.Triplet{Row: int(op.Row), Col: int(op.Col), Val: op.Val})
+			}
+		case Add:
+			out = append(out, matrix.Triplet{Row: int(op.Row), Col: int(op.Col), Val: op.Val})
+		}
+	}
+	return out
+}
+
+func csrOf(t *testing.T, rows, cols int, ts []matrix.Triplet) *matrix.CSR32 {
+	t.Helper()
+	coo, err := matrix.FromTriplets(rows, cols, ts)
+	if err != nil {
+		t.Fatalf("FromTriplets: %v", err)
+	}
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return csr
+}
+
+func foldCSR(t *testing.T, l *Log, rows, cols int) *matrix.CSR32 {
+	t.Helper()
+	coo := matrix.NewCOO(rows, cols)
+	l.Fold(func(i, j int32, v float64) {
+		if err := coo.Append(int(i), int(j), v); err != nil {
+			t.Fatalf("Fold emitted out-of-range (%d,%d): %v", i, j, err)
+		}
+	})
+	csr, err := matrix.NewCSR[uint32](coo)
+	if err != nil {
+		t.Fatalf("NewCSR(fold): %v", err)
+	}
+	return csr
+}
+
+// requireSameCSR demands bitwise-identical structure and values.
+func requireSameCSR(t *testing.T, got, want *matrix.CSR32) {
+	t.Helper()
+	if !reflect.DeepEqual(got.RowPtr, want.RowPtr) || !reflect.DeepEqual(got.Col, want.Col) {
+		t.Fatalf("folded CSR structure differs from rebuild:\n got rowptr=%v col=%v\nwant rowptr=%v col=%v",
+			got.RowPtr, got.Col, want.RowPtr, want.Col)
+	}
+	if len(got.Val) != len(want.Val) {
+		t.Fatalf("folded CSR has %d values, rebuild %d", len(got.Val), len(want.Val))
+	}
+	for k := range got.Val {
+		if math.Float64bits(got.Val[k]) != math.Float64bits(want.Val[k]) {
+			t.Fatalf("value %d: fold %x, rebuild %x", k,
+				math.Float64bits(got.Val[k]), math.Float64bits(want.Val[k]))
+		}
+	}
+}
+
+func TestFoldMatchesRebuildBitwise(t *testing.T) {
+	const rows, cols = 4, 4
+	ops := []Op{
+		{Kind: Add, Row: 1, Col: 2, Val: 0.375},  // onto a duplicated coordinate
+		{Kind: Set, Row: 0, Col: 3, Val: 9},      // new entry
+		{Kind: Set, Row: 3, Col: 1, Val: 1.0625}, // replace existing
+		{Kind: Del, Row: 1, Col: 0, Val: 0},      // remove existing
+		{Kind: Add, Row: 2, Col: 2, Val: -0.5},   // first entry of an empty row
+		{Kind: Del, Row: 0, Col: 1, Val: 0},      // delete absent: no-op
+		{Kind: Add, Row: 0, Col: 3, Val: 0.25},   // add onto the set above
+	}
+	l := logFromTriplets(t, rows, cols, baseTriplets())
+	if l.BaseNNZ() != int64(len(baseTriplets())) {
+		t.Fatalf("BaseNNZ = %d, want %d", l.BaseNNZ(), len(baseTriplets()))
+	}
+	if err := l.Apply(ops); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if l.Seq() != len(ops) {
+		t.Fatalf("Seq = %d, want %d", l.Seq(), len(ops))
+	}
+	want := csrOf(t, rows, cols, rebuild(baseTriplets(), ops))
+	got := foldCSR(t, l, rows, cols)
+	requireSameCSR(t, got, want)
+	if l.FoldNNZ() != got.NNZ() {
+		t.Fatalf("FoldNNZ = %d, folded CSR has %d", l.FoldNNZ(), got.NNZ())
+	}
+}
+
+func TestBatchSplitInvariance(t *testing.T) {
+	const rows, cols = 4, 4
+	ops := []Op{
+		{Kind: Set, Row: 1, Col: 1, Val: 3},
+		{Kind: Add, Row: 1, Col: 1, Val: 0.5},
+		{Kind: Set, Row: 1, Col: 1, Val: 2}, // later op sees earlier ones
+		{Kind: Add, Row: 2, Col: 0, Val: 1},
+		{Kind: Del, Row: 2, Col: 0, Val: 0},
+		{Kind: Add, Row: 3, Col: 3, Val: -1},
+	}
+	whole := logFromTriplets(t, rows, cols, baseTriplets())
+	if err := whole.Apply(ops); err != nil {
+		t.Fatalf("Apply(whole): %v", err)
+	}
+	for split := 1; split < len(ops); split++ {
+		part := logFromTriplets(t, rows, cols, baseTriplets())
+		if err := part.Apply(ops[:split]); err != nil {
+			t.Fatalf("Apply(first %d): %v", split, err)
+		}
+		if err := part.Apply(ops[split:]); err != nil {
+			t.Fatalf("Apply(rest after %d): %v", split, err)
+		}
+		a, b := whole.Overlay(), part.Overlay()
+		if !reflect.DeepEqual(a.Rows(), b.Rows()) {
+			t.Fatalf("split at %d: overlay differs\nwhole %+v\nsplit %+v", split, a.Rows(), b.Rows())
+		}
+		requireSameCSR(t, foldCSR(t, part, rows, cols), foldCSR(t, whole, rows, cols))
+	}
+}
+
+func TestOverlaySnapshotImmutable(t *testing.T) {
+	l := logFromTriplets(t, 4, 4, baseTriplets())
+	if err := l.Apply([]Op{{Kind: Set, Row: 1, Col: 3, Val: 5}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	snap := l.Overlay()
+	if snap != l.Overlay() {
+		t.Fatal("Overlay not cached between Applies")
+	}
+	beforeCols := append([]int32(nil), snap.Rows()[0].Col...)
+	beforeVals := append([]float64(nil), snap.Rows()[0].Val...)
+	if err := l.Apply([]Op{
+		{Kind: Set, Row: 1, Col: 1, Val: 8},
+		{Kind: Del, Row: 1, Col: 3, Val: 0},
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !reflect.DeepEqual(snap.Rows()[0].Col, beforeCols) ||
+		!reflect.DeepEqual(snap.Rows()[0].Val, beforeVals) {
+		t.Fatal("published snapshot mutated by later Apply")
+	}
+	next := l.Overlay()
+	if next.Seq() != 3 || snap.Seq() != 1 {
+		t.Fatalf("snapshot seqs = %d then %d, want 1 then 3", snap.Seq(), next.Seq())
+	}
+	if next.DirtyRows() != 1 {
+		t.Fatalf("DirtyRows = %d, want 1", next.DirtyRows())
+	}
+	if next.Entries() != int64(len(next.Rows()[0].Col)) {
+		t.Fatalf("Entries = %d, row has %d", next.Entries(), len(next.Rows()[0].Col))
+	}
+}
+
+func TestValidateRejectsAndKeepsLogUnchanged(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want string
+	}{
+		{"row out of range", []Op{{Kind: Set, Row: 4, Col: 0, Val: 1}}, "outside"},
+		{"negative col", []Op{{Kind: Add, Row: 0, Col: -1, Val: 1}}, "outside"},
+		{"nan", []Op{{Kind: Set, Row: 0, Col: 0, Val: math.NaN()}}, "non-finite"},
+		{"inf", []Op{{Kind: Add, Row: 0, Col: 0, Val: math.Inf(1)}}, "non-finite"},
+		{"bad kind", []Op{{Kind: Kind(9), Row: 0, Col: 0, Val: 1}}, "unknown op kind"},
+		{"second op bad", []Op{
+			{Kind: Set, Row: 0, Col: 0, Val: 1},
+			{Kind: Set, Row: 0, Col: 99, Val: 1},
+		}, "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := logFromTriplets(t, 4, 4, baseTriplets())
+			err := l.Apply(tc.ops)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply = %v, want error containing %q", err, tc.want)
+			}
+			if l.Seq() != 0 || l.Overlay().DirtyRows() != 0 {
+				t.Fatalf("failed batch left state: seq=%d dirty=%d", l.Seq(), l.Overlay().DirtyRows())
+			}
+		})
+	}
+	// Del with a non-finite value is fine: Val is ignored.
+	l := logFromTriplets(t, 4, 4, baseTriplets())
+	if err := l.Apply([]Op{{Kind: Del, Row: 0, Col: 0, Val: math.NaN()}}); err != nil {
+		t.Fatalf("Del with NaN value: %v", err)
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := logFromTriplets(t, 4, 4, baseTriplets())
+	first := []Op{{Kind: Set, Row: 0, Col: 0, Val: 1}}
+	second := []Op{{Kind: Add, Row: 2, Col: 2, Val: 2}, {Kind: Del, Row: 0, Col: 0}}
+	if err := l.Apply(first); err != nil {
+		t.Fatal(err)
+	}
+	seq := l.Seq()
+	if err := l.Apply(second); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Tail(seq); !reflect.DeepEqual(got, second) {
+		t.Fatalf("Tail(%d) = %+v, want %+v", seq, got, second)
+	}
+	if got := l.Tail(l.Seq()); len(got) != 0 {
+		t.Fatalf("Tail at head = %+v, want empty", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Set: "set", Add: "add", Del: "del", Kind(7): "kind(7)"} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

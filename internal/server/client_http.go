@@ -27,6 +27,12 @@ type API interface {
 	RegisterSuite(id, suite string, scale float64, seed int64) (MatrixInfo, error)
 	// MulOpts computes y = A·x under the request options.
 	MulOpts(id string, x []float64, opts MulOptions) ([]float64, error)
+	// Patch applies one atomic, ordered batch of COO deltas to a
+	// registered (non-sharded) matrix.
+	Patch(id string, deltas []Delta) (PatchResult, error)
+	// DeleteMatrix tears a matrix down: cancels and drains its solver
+	// sessions, evicts its caches, and (sharded) unregisters its bands.
+	DeleteMatrix(id string) (DeleteResult, error)
 	// SolveOpts creates a solver session under the admission options.
 	SolveOpts(id string, req SolveRequest, opts SolveOptions) (SolveStatus, error)
 	// SolveStatus polls a session, optionally waiting for it to finish.
@@ -83,6 +89,8 @@ var sentinelByCode = map[string]error{
 	"unknown_session":    ErrUnknownSession,
 	"too_many_sessions":  ErrTooManySessions,
 	"deadline_exceeded":  ErrDeadlineExceeded,
+	"method_not_allowed": ErrMethodNotAllowed,
+	"sharded_immutable":  ErrShardedImmutable,
 }
 
 // apiError rebuilds a typed error from one error-envelope response.
@@ -180,6 +188,22 @@ func (hc *HTTPClient) MulOpts(id string, x []float64, opts MulOptions) ([]float6
 // Deprecated: use MulOpts.
 func (hc *HTTPClient) Mul(id string, x []float64) ([]float64, error) {
 	return hc.MulOpts(id, x, MulOptions{})
+}
+
+// Patch applies one atomic batch of COO deltas on the remote server. A
+// sharded target comes back as ErrShardedImmutable; hitting a server
+// predating the endpoint comes back as ErrMethodNotAllowed.
+func (hc *HTTPClient) Patch(id string, deltas []Delta) (PatchResult, error) {
+	var res PatchResult
+	err := hc.do(http.MethodPatch, "/v1/matrices/"+url.PathEscape(id), patchRequest{Deltas: deltas}, &res)
+	return res, err
+}
+
+// DeleteMatrix tears the matrix down on the remote server.
+func (hc *HTTPClient) DeleteMatrix(id string) (DeleteResult, error) {
+	var res DeleteResult
+	err := hc.do(http.MethodDelete, "/v1/matrices/"+url.PathEscape(id), nil, &res)
+	return res, err
 }
 
 // SolveOpts creates a solver session on the remote server; non-empty

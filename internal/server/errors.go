@@ -33,4 +33,11 @@ var (
 	// ErrDeadlineExceeded: the request's deadline expired while it was
 	// queued, so it was shed instead of executed (504).
 	ErrDeadlineExceeded = errors.New("server: deadline exceeded")
+	// ErrMethodNotAllowed: the path names a known resource but the method
+	// is not one it serves (405 with an Allow header).
+	ErrMethodNotAllowed = errors.New("server: method not allowed")
+	// ErrShardedImmutable: the matrix is cluster-sharded, whose band
+	// registrations are immutable — PATCH is only served by local entries
+	// (409).
+	ErrShardedImmutable = errors.New("server: sharded matrices are immutable")
 )

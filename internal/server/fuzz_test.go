@@ -324,3 +324,137 @@ func FuzzSolveJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPatchJSON exercises the PATCH /v1/matrices/{id} payload path — the
+// delta batch decoding, op-kind/coordinate/finiteness validation, and
+// batch atomicity — against arbitrary bodies: the handler must never
+// panic, must answer 200 or an error status with the uniform JSON
+// envelope, and must leave the matrix servable either way (a rejected
+// batch applies nothing; an applied one only changes values).
+func FuzzPatchJSON(f *testing.F) {
+	// Well-formed batches, every op kind.
+	f.Add(`{"deltas":[{"op":"set","row":0,"col":1,"val":2.5}]}`)
+	f.Add(`{"deltas":[{"op":"add","row":3,"col":3,"val":-1.25},{"op":"del","row":0,"col":0}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":1,"col":2,"val":1},{"op":"set","row":1,"col":2,"val":2},{"op":"del","row":1,"col":2}]}`)
+	f.Add(`{"deltas":[{"op":"del","row":2,"col":0}]}`)
+	// Validation: unknown op, out-of-range coordinates, atomicity probes
+	// (valid op before the invalid one must not apply).
+	f.Add(`{"deltas":[{"op":"replace","row":0,"col":0,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":4,"col":0,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":0,"col":-1,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":0,"col":0,"val":1},{"op":"set","row":99,"col":0,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":0,"col":0,"val":1e999}]}`)
+	// Shape and type breakage, strict decoding.
+	f.Add(`{"deltas":[]}`)
+	f.Add(`{"deltas":null}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`"patch"`)
+	f.Add(`{"deltas":[{"op":"set","row":0,"col":0,"val":1}]`)
+	f.Add(`{"deltas":[{"op":"set","row":0.5,"col":0,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","rows":0,"col":0,"val":1}]}`)
+	f.Add(`{"delta":[{"op":"set","row":0,"col":0,"val":1}]}`)
+	f.Add(`{"deltas":[{"op":"set","row":2147483648,"col":0,"val":1}]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cfg := DefaultConfig()
+		cfg.Threads = 1
+		cfg.Workers = 1
+		cfg.MaxBatch = 1
+		cfg.MaxBodyBytes = 1 << 16
+		cfg.RecompactThreshold = -1 // keep execs deterministic: no background fold
+		s := New(cfg)
+		defer s.Close()
+		m := spmv.NewMatrix(4, 4)
+		for i := 0; i < 4; i++ {
+			_ = m.Set(i, i, 2)
+			if i > 0 {
+				_ = m.Set(i, i-1, -1)
+				_ = m.Set(i-1, i, -1)
+			}
+		}
+		if _, err := s.Register("a", "tiny", m); err != nil {
+			t.Fatal(err)
+		}
+		h := s.Handler()
+
+		req := httptest.NewRequest("PATCH", "/v1/matrices/a", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		code := rec.Code
+		if code != 200 && (code < 400 || code > 599) {
+			t.Fatalf("status %d for body %q, want 200 or an error status", code, body)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("non-JSON response %q for body %q: %v", rec.Body.String(), body, err)
+		}
+		if code == 200 {
+			if seq, _ := parsed["seq"].(float64); seq < 1 {
+				t.Fatalf("200 response without a positive seq: %q", rec.Body.String())
+			}
+		} else if _, ok := parsed["error"]; !ok {
+			t.Fatalf("error status %d without an error field: %q", code, rec.Body.String())
+		}
+		// Whatever the batch did, the matrix must still serve.
+		rec2 := httptest.NewRecorder()
+		h.ServeHTTP(rec2, httptest.NewRequest("POST", "/v1/matrices/a/mul",
+			strings.NewReader(`{"x":[1,1,1,1]}`)))
+		if rec2.Code != 200 {
+			t.Fatalf("mul after patch (%d): %d %q", code, rec2.Code, rec2.Body.String())
+		}
+	})
+}
+
+// TestPatchFuzzSeedsStatuses pins the documented status codes of the
+// structured patch seed payloads.
+func TestPatchFuzzSeedsStatuses(t *testing.T) {
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"deltas":[{"op":"set","row":0,"col":1,"val":2.5}]}`, 200},
+		{`{"deltas":[{"op":"add","row":3,"col":3,"val":-1.25},{"op":"del","row":0,"col":0}]}`, 200},
+		{`{"deltas":[{"op":"replace","row":0,"col":0,"val":1}]}`, 400},
+		{`{"deltas":[{"op":"set","row":4,"col":0,"val":1}]}`, 400},
+		{`{"deltas":[{"op":"set","row":0,"col":0,"val":1},{"op":"set","row":99,"col":0,"val":1}]}`, 400},
+		{`{"deltas":[]}`, 400},
+		{`{"delta":[{"op":"set","row":0,"col":0,"val":1}]}`, 400}, // unknown field
+		{`{}`, 400},
+		{`{"deltas":[{"op":"set","row":0,"col":0,"val":1}]`, 400},
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.Workers = 1
+	cfg.RecompactThreshold = -1
+	s := New(cfg)
+	defer s.Close()
+	m := spmv.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		_ = m.Set(i, i, 2)
+		if i > 0 {
+			_ = m.Set(i, i-1, -1)
+			_ = m.Set(i-1, i, -1)
+		}
+	}
+	if _, err := s.Register("a", "tiny", m); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("PATCH", "/v1/matrices/a", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	// Ghost id: 404 through the envelope.
+	req := httptest.NewRequest("PATCH", "/v1/matrices/ghost",
+		strings.NewReader(`{"deltas":[{"op":"set","row":0,"col":0,"val":1}]}`))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 404 {
+		t.Errorf("ghost patch: status %d, want 404", rec.Code)
+	}
+}

@@ -106,10 +106,16 @@ func errorCode(status int, err error) string {
 		return "admission_limited"
 	case errors.Is(err, ErrDeadlineExceeded):
 		return "deadline_exceeded"
+	case errors.Is(err, ErrMethodNotAllowed):
+		return "method_not_allowed"
+	case errors.Is(err, ErrShardedImmutable):
+		return "sharded_immutable"
 	}
 	switch status {
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
 	case http.StatusConflict:
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:
@@ -143,6 +149,8 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 //
 //	POST /v1/matrices             register a matrix (suite | entries | matrix_market; optional shards)
 //	GET  /v1/matrices             list registered matrices (local and sharded)
+//	PATCH /v1/matrices/{id}       apply a batch of COO deltas (set | add | del)
+//	DELETE /v1/matrices/{id}      tear a matrix down (drains its solver sessions)
 //	POST /v1/matrices/{id}/mul    compute y = A·x (coalesced with concurrent calls)
 //	GET  /v1/matrices/{id}/tuning online re-tuner state: generation, drift, decision log
 //	POST /v1/matrices/{id}/solve  start a server-resident solver session (cg | power)
@@ -158,27 +166,48 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 //
 // Every route is wrapped by the instrumentation middleware: request ids,
 // structured access logs, and per-endpoint latency histograms. Every
-// error response — including requests that match no route, which the
-// catch-all turns into a JSON 404 — carries the uniform envelope
-// {"error":{"code","message"}}.
+// error response carries the uniform envelope {"error":{"code","message"}}:
+// requests matching no path are a JSON 404, and known paths hit with a
+// method they don't serve are a JSON 405 with an Allow header (the
+// registered catch-all would otherwise swallow the mux's native 405).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleNotFound)
-	mux.HandleFunc("POST /v1/matrices", s.handleRegister)
-	mux.HandleFunc("GET /v1/matrices", s.handleList)
-	mux.HandleFunc("POST /v1/matrices/{id}/mul", s.handleMul)
-	mux.HandleFunc("GET /v1/matrices/{id}/tuning", s.handleTuning)
-	mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolveCreate)
-	mux.HandleFunc("GET /v1/solve", s.handleSolveList)
-	mux.HandleFunc("GET /v1/solve/{sid}", s.handleSolveGet)
-	mux.HandleFunc("DELETE /v1/solve/{sid}", s.handleSolveDelete)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
-	mux.HandleFunc("GET /v1/traces", s.handleTraces)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/buildinfo", s.handleBuildinfo)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" "+rt.pattern, rt.handler)
+	}
 	return s.instrument(mux)
+}
+
+// route is one method+pattern binding of the API. The table drives both
+// the mux registration and the catch-all's 405 detection — a route added
+// here automatically answers 405 (not 404) when hit with the wrong
+// method.
+type route struct {
+	method  string
+	pattern string // ServeMux path pattern ({x} wildcards)
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{http.MethodPost, "/v1/matrices", s.handleRegister},
+		{http.MethodGet, "/v1/matrices", s.handleList},
+		{http.MethodPatch, "/v1/matrices/{id}", s.handlePatchMatrix},
+		{http.MethodDelete, "/v1/matrices/{id}", s.handleDeleteMatrix},
+		{http.MethodPost, "/v1/matrices/{id}/mul", s.handleMul},
+		{http.MethodGet, "/v1/matrices/{id}/tuning", s.handleTuning},
+		{http.MethodPost, "/v1/matrices/{id}/solve", s.handleSolveCreate},
+		{http.MethodGet, "/v1/solve", s.handleSolveList},
+		{http.MethodGet, "/v1/solve/{sid}", s.handleSolveGet},
+		{http.MethodDelete, "/v1/solve/{sid}", s.handleSolveDelete},
+		{http.MethodGet, "/v1/stats", s.handleStats},
+		{http.MethodGet, "/v1/cluster", s.handleCluster},
+		{http.MethodGet, "/v1/traces", s.handleTraces},
+		{http.MethodGet, "/v1/healthz", s.handleHealthz},
+		{http.MethodGet, "/v1/buildinfo", s.handleBuildinfo},
+		{http.MethodGet, "/metrics", s.handleMetrics},
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -202,10 +231,64 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 // handleNotFound is the catch-all for requests matching no route, so
 // even a typo'd path gets the JSON error envelope rather than the text
-// default. (It also catches known paths hit with the wrong method —
-// those answer 404, not 405, which the API accepts for uniformity.)
+// default. Registering a catch-all suppresses the mux's native 405
+// handling, so the catch-all reconstructs it from the route table: a
+// known path hit with a method it doesn't serve answers 405 with an
+// Allow header listing the methods that would have worked.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	if allowed := s.allowedMethods(r.URL.Path); len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("%w: %s %s (allowed: %s)", ErrMethodNotAllowed, r.Method, r.URL.Path, strings.Join(allowed, ", ")))
+		return
+	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+}
+
+// allowedMethods returns the deduplicated methods that serve path, in
+// route-table order; empty means no route knows the path at all.
+func (s *Server) allowedMethods(path string) []string {
+	var allowed []string
+	for _, rt := range s.routes() {
+		if !pathMatches(rt.pattern, path) {
+			continue
+		}
+		dup := false
+		for _, m := range allowed {
+			if m == rt.method {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			allowed = append(allowed, rt.method)
+		}
+	}
+	return allowed
+}
+
+// pathMatches reports whether a concrete request path matches a route
+// pattern, where a {x} segment matches any single non-empty segment.
+// This mirrors the subset of ServeMux pattern syntax the route table
+// uses — exact segments plus single-segment wildcards, no "..." tails.
+func pathMatches(pattern, path string) bool {
+	ps := strings.Split(pattern, "/")
+	cs := strings.Split(path, "/")
+	if len(ps) != len(cs) {
+		return false
+	}
+	for i, seg := range ps {
+		if len(seg) >= 2 && seg[0] == '{' && seg[len(seg)-1] == '}' {
+			if cs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if seg != cs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // decodeBody decodes a JSON request body under the server's size cap,
@@ -395,6 +478,53 @@ func (s *Server) handleMul(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mulResponse{Y: y})
 }
 
+// patchRequest is the body of PATCH /v1/matrices/{id}: one atomic,
+// ordered batch of COO deltas. The whole batch validates before any of
+// it applies; a rejected batch leaves the matrix untouched.
+type patchRequest struct {
+	Deltas []Delta `json:"deltas"`
+}
+
+func (s *Server) handlePatchMatrix(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req patchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Patch(id, req.Deltas)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrShardedImmutable):
+			code = http.StatusConflict
+		case errors.Is(err, ErrUnknownMatrix):
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
+	res, err := s.DeleteMatrix(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrMemberFault):
+			// Checked before ErrUnknownMatrix, as in handleMul: the
+			// coordinator entry is gone either way, but a band teardown
+			// failing on a member is a fleet fault worth surfacing.
+			code = http.StatusBadGateway
+		case errors.Is(err, ErrUnknownMatrix):
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.Tuning(r.PathValue("id"))
 	if err != nil {
@@ -480,6 +610,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter("spmv_serve_retune_rejections_total", "Re-tune candidates rejected by the shadow benchmark.", float64(st.RetuneRejections))
 	e.Counter("spmv_serve_solve_sessions_total", "Solver sessions created.", float64(st.SolveSessions))
 	e.Counter("spmv_serve_solve_iters_total", "Solver iterations executed (each one width-1 sweep).", float64(st.SolveIters))
+	e.Counter("spmv_serve_patches_total", "PATCH batches applied.", float64(st.Patches))
+	e.Counter("spmv_serve_deltas_applied_total", "Individual COO deltas applied.", float64(st.DeltasApplied))
+	e.Counter("spmv_serve_recompactions_total", "Delta logs folded into a fresh tuned base.", float64(st.Recompactions))
+	e.Counter("spmv_serve_sym_demotions_total", "Symmetric matrices demoted to general by a mutation.", float64(st.SymDemotions))
+	e.Counter("spmv_serve_deletes_total", "Matrices torn down via DELETE.", float64(st.Deletes))
+	e.Counter("spmv_serve_overlay_bytes_total", "Modeled overlay-pass DRAM bytes moved by sweeps over mutated matrices.", float64(st.OverlayBytes))
 	s.sessMu.Lock()
 	resident := len(s.sessions)
 	s.sessMu.Unlock()
@@ -502,7 +638,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// seconds, and that bandwidth as a fraction of the configured
 	// sustained-DRAM reference. Attribution is per serving generation —
 	// the gauges reflect the current operator's own sweeps.
-	var achieved, ratio, gens []obs.Sample
+	var achieved, ratio, gens, overlay []obs.Sample
 	for _, entry := range s.reg.List() {
 		sv := entry.cur.Load()
 		if sv == nil {
@@ -511,6 +647,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		rs := sv.roof.Stats(s.cfg.RooflineGBs)
 		labels := map[string]string{"id": entry.ID, "kernel": sv.op.KernelName()}
 		gens = append(gens, obs.Sample{Labels: map[string]string{"id": entry.ID}, Value: float64(sv.gen)})
+		if sv.ovBytes > 0 {
+			overlay = append(overlay, obs.Sample{Labels: map[string]string{"id": entry.ID}, Value: float64(sv.ovBytes)})
+		}
 		if rs.Sweeps == 0 {
 			continue
 		}
@@ -518,6 +657,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		ratio = append(ratio, obs.Sample{Labels: labels, Value: rs.ModelRatio})
 	}
 	e.GaugeVec("spmv_serve_matrix_generation", "Serving snapshot generation (re-tune promotions).", gens)
+	e.GaugeVec("spmv_serve_matrix_overlay_bytes", "Modeled per-sweep overlay cost of the pending delta log.", overlay)
 	e.GaugeVec("spmv_serve_matrix_achieved_gbs", "Measured-vs-modeled roofline: modeled bytes over measured sweep seconds.", achieved)
 	e.GaugeVec("spmv_serve_matrix_roofline_ratio", "Achieved bandwidth over the configured sustained-DRAM reference.", ratio)
 

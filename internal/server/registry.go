@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	spmv "repro"
+	"repro/internal/matrix/delta"
 	"repro/internal/obs"
 )
 
@@ -56,6 +57,18 @@ type serving struct {
 	// later promotion can evict the demoted encoding; nil when op is the
 	// symmetric operator (cached per thread count instead).
 	cacheKey *opKey
+	// ov is the delta overlay sweeps apply after the base-operator pass
+	// (nil when the entry has no pending deltas), and ovBytes its modeled
+	// per-sweep stream (traffic.OverlaySweepBytes) — the extra bandwidth
+	// every sweep pays until recompaction folds the deltas into the base.
+	// The overlay lives inside the snapshot for the same reason the
+	// operator does: a sweep loads e.cur once and must see a coherent
+	// (operator, overlay) pair, never a new overlay against an old base or
+	// vice versa. Every swap of e.cur — patch, re-tune promotion,
+	// recompaction — happens under tuneMu, which is what keeps the pair
+	// coherent across writers.
+	ov      *delta.Overlay
+	ovBytes int64
 	// roof joins each executed sweep's measured wall time with its modeled
 	// bytes. Hanging the accumulator on the snapshot makes attribution
 	// per matrix, per kernel, AND per re-tune generation for free: a
@@ -79,9 +92,12 @@ type Entry struct {
 	ID   string
 	Name string // human label (suite name, "upload", ...)
 
+	// m is the base matrix; recompaction replaces it (under both tuneMu
+	// and mu — its readers hold one or the other) along with nnz, which is
+	// atomic because listings read it lock-free.
 	m          *spmv.Matrix
 	rows, cols int
-	nnz        int64
+	nnz        atomic.Int64
 
 	mu  sync.Mutex
 	ops map[opKey]*spmv.Operator
@@ -99,28 +115,48 @@ type Entry struct {
 	// sample the re-tuner consumes.
 	work workload
 
-	// tuneMu serializes re-tune evaluations of this entry; events is the
-	// bounded decision log behind GET /v1/matrices/{id}/tuning.
-	// lastEvalRequests paces evaluations by fresh traffic;
-	// lastRejectedWidth suppresses re-evaluating (and recompiling) the
-	// identical candidate while the observed median hasn't moved since a
-	// rejection.
+	// tuneMu serializes every writer of the entry's serving state: re-tune
+	// evaluations, delta patches, and recompaction promotions all load
+	// e.cur, build a successor, and Store it under this mutex — so no swap
+	// ever clobbers another writer's. events is the bounded decision log
+	// behind GET /v1/matrices/{id}/tuning. lastEvalRequests paces
+	// evaluations by fresh traffic; lastRejectedWidth suppresses
+	// re-evaluating (and recompiling) the identical candidate while the
+	// observed median hasn't moved since a rejection.
 	tuneMu            sync.Mutex
 	events            []TuningEvent
 	lastEvalRequests  uint64
 	lastRejectedWidth int
+
+	// log accumulates the entry's COO deltas (nil until the first PATCH).
+	// Guarded by tuneMu, like every other mutation of serving state; the
+	// overlay snapshots it publishes into e.cur are immutable and read
+	// lock-free by sweeps. Recompaction replaces it (along with m/nnz)
+	// when the pending deltas fold into a fresh base, so a log's sequence
+	// numbers are per-generation.
+	log *delta.Log
+
+	// recompacting is the single-flight latch for the background
+	// recompactor: the patch that crosses the traffic-modeled threshold
+	// wins the CAS and spawns the fold+retune, later patches see it set
+	// and leave the in-flight run alone.
+	recompacting atomic.Bool
 
 	// bufs recycles interleaved x/y blocks between fused sweeps so the
 	// steady-state hot path allocates only the result vectors it hands to
 	// callers.
 	bufs sync.Pool // *blockBuf
 
-	// symCheckOnce/symIs cache the numeric-symmetry answer for solver
-	// admission (see Entry.isSymmetricMatrix): CG requires the matrix to
-	// be symmetric whatever storage family serves it, and the exact
-	// transpose comparison is worth paying once, not per session.
-	symCheckOnce sync.Once
-	symIs        bool
+	// symMu/symChecked/symSeq/symIs cache the numeric-symmetry answer for
+	// solver admission (see Entry.isSymmetricMatrix): CG requires the
+	// matrix to be symmetric whatever storage family serves it, and the
+	// exact transpose comparison is worth paying once per mutation epoch,
+	// not per session. The cache is keyed by the delta log's seq (and reset
+	// by recompaction), because a patch can create or break symmetry.
+	symMu      sync.Mutex
+	symChecked bool
+	symSeq     int
+	symIs      bool
 }
 
 // blockBuf is one fused sweep's interleaved scratch space.
@@ -149,7 +185,7 @@ func (e *Entry) putBuf(b *blockBuf) { e.bufs.Put(b) }
 func (e *Entry) Dims() (rows, cols int) { return e.rows, e.cols }
 
 // NNZ returns the matrix's logical nonzero count.
-func (e *Entry) NNZ() int64 { return e.nnz }
+func (e *Entry) NNZ() int64 { return e.nnz.Load() }
 
 // Operator returns the compiled operator for the given tune options and
 // thread count, compiling on first use and serving every later request for
@@ -278,7 +314,8 @@ func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
 	if _, ok := r.byID[id]; ok {
 		return nil, fmt.Errorf("%w: matrix %q", ErrAlreadyRegistered, id)
 	}
-	e := &Entry{ID: id, Name: name, m: m, rows: rows, cols: cols, nnz: m.NNZ()}
+	e := &Entry{ID: id, Name: name, m: m, rows: rows, cols: cols}
+	e.nnz.Store(m.NNZ())
 	r.byID[id] = e
 	if r.st != nil {
 		r.st.registered.Add(1)
@@ -286,18 +323,22 @@ func (r *Registry) Register(id, name string, m *spmv.Matrix) (*Entry, error) {
 	return e, nil
 }
 
-// remove deletes an entry that never finished preparing, freeing its id.
-// Serving entries are immutable and never removed; this only backs out a
-// failed registration so the id is not burned by a rejected request.
-func (r *Registry) remove(id string) {
+// remove deletes an entry, freeing its id, and reports whether it was
+// present. It backs out failed registrations (so the id is not burned by
+// a rejected request) and implements DELETE teardown — the caller is
+// responsible for draining the entry's solver sessions first; sweeps
+// already in flight finish safely on the snapshots they loaded.
+func (r *Registry) remove(id string) bool {
 	r.mu.Lock()
-	if _, ok := r.byID[id]; ok {
+	_, ok := r.byID[id]
+	if ok {
 		delete(r.byID, id)
 		if r.st != nil {
 			r.st.registered.Add(^uint64(0))
 		}
 	}
 	r.mu.Unlock()
+	return ok
 }
 
 // Get returns the entry for id.

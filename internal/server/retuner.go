@@ -259,6 +259,12 @@ func (s *Server) evaluateEntry(e *Entry) bool {
 			// sym snapshots fuse every width), so lone == fused.
 			lone:     best.traffic,
 			cacheKey: best.cacheKey,
+			// The overlay rides along: a re-tune changes how the BASE is
+			// served, not the pending deltas, and dropping them here would
+			// silently revert the matrix. (Recompaction, not promotion, is
+			// what retires an overlay.)
+			ov:      sv.ov,
+			ovBytes: sv.ovBytes,
 			// A promotion starts a fresh roofline accumulator: the new
 			// generation's achieved bandwidth is measured on its own sweeps.
 			roof: new(obs.Roofline),

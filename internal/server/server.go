@@ -10,6 +10,7 @@ import (
 	"time"
 
 	spmv "repro"
+	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -97,6 +98,16 @@ type Config struct {
 	// every scan. <= 0 means the default of 64.
 	RetuneMinRequests int
 
+	// RecompactThreshold triggers background recompaction of a patched
+	// matrix once its delta overlay's modeled per-sweep stream
+	// (traffic.OverlaySweepBytes) reaches this fraction of the base
+	// operator's matrix stream: past that point every sweep pays more than
+	// the fraction in extra bandwidth, so folding the deltas into a fresh
+	// base and re-tuning amortizes after ~1/threshold sweeps. 0 means
+	// DefaultRecompactThreshold; negative disables recompaction (the
+	// overlay then grows until an explicit Recompact call).
+	RecompactThreshold float64
+
 	// MaxSessions caps resident solver sessions (running or finished but
 	// not yet collected). At the cap, creating a session first evicts the
 	// oldest finished one; when every resident session is still running
@@ -144,6 +155,11 @@ const (
 	DefaultRetuneDrift       = 0.5
 	DefaultRetuneMinRequests = 64
 )
+
+// DefaultRecompactThreshold backs Config.RecompactThreshold's zero value:
+// recompact once the overlay stream costs every sweep 10% extra bandwidth
+// over the base matrix stream.
+const DefaultRecompactThreshold = 0.10
 
 // DefaultMaxBodyBytes is the request-body cap applied when
 // Config.MaxBodyBytes is unset: 256 MiB, sized to admit any single-node
@@ -226,6 +242,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.RecompactThreshold == 0 {
+		cfg.RecompactThreshold = DefaultRecompactThreshold
 	}
 	if cfg.RooflineGBs <= 0 {
 		// The paper's reference machine: AMD X2 sustained socket bandwidth
@@ -314,22 +333,35 @@ type MatrixInfo struct {
 	Replicas    int     `json:"replicas,omitempty"` // > 0 only for cluster-sharded matrices
 	SweepBytes  int64   `json:"sweep_bytes"`        // modeled DRAM bytes per single-RHS sweep
 	MatrixBytes int64   `json:"matrix_bytes"`       // matrix-stream share of SweepBytes
+	// Generation counts serving-snapshot promotions (re-tunes and
+	// recompactions); mutable-matrix state describes the live overlay.
+	Generation   int   `json:"generation"`
+	DeltaSeq     int   `json:"delta_seq,omitempty"`     // ops the serving overlay reflects
+	OverlayRows  int   `json:"overlay_rows,omitempty"`  // dirty rows sweeps overwrite
+	OverlayBytes int64 `json:"overlay_bytes,omitempty"` // modeled per-sweep overlay stream
 }
 
 func (s *Server) info(e *Entry) MatrixInfo {
 	sv := e.cur.Load()
 	if sv == nil {
-		return MatrixInfo{ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz}
+		return MatrixInfo{ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz.Load()}
 	}
-	return MatrixInfo{
-		ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
+	info := MatrixInfo{
+		ID: e.ID, Name: e.Name, Rows: e.rows, Cols: e.cols, NNZ: e.nnz.Load(),
 		Kernel: sv.op.KernelName(), Symmetric: sv.sym,
 		Footprint: sv.op.FootprintBytes(),
 		Baseline:  sv.op.BaselineBytes(), Savings: sv.op.Savings(),
 		Threads: sv.op.Threads(), Shards: len(sv.shards),
 		SweepBytes:  sv.matrixBytes + sv.sourceBytes + sv.destBytes,
 		MatrixBytes: sv.matrixBytes,
+		Generation:  sv.gen,
 	}
+	if sv.ov != nil {
+		info.DeltaSeq = sv.ov.Seq()
+		info.OverlayRows = sv.ov.DirtyRows()
+		info.OverlayBytes = sv.ovBytes
+	}
+	return info
 }
 
 // RegisterOptions modifies one registration.
@@ -515,11 +547,12 @@ func (s *Server) MulOpts(id string, x []float64, opts MulOptions) ([]float64, er
 		return nil, err
 	}
 	p := &pending{x: x, ch: make(chan mulResult, 1)}
-	// The admission cost is the request's single-RHS modeled sweep bytes.
+	// The admission cost is the request's single-RHS modeled sweep bytes
+	// (plus the overlay stream every sweep of a patched matrix pays).
 	// Fusion makes the actual cost cheaper (the matrix streams once per
 	// batch), so the buckets meter the demand a tenant presents, not the
 	// discount coalescing happens to find.
-	p.cost = sv.matrixBytes + sv.sourceBytes + sv.destBytes
+	p.cost = sv.matrixBytes + sv.sourceBytes + sv.destBytes + sv.ovBytes
 	if sc := s.sched; sc != nil {
 		p.acct, err = sc.admit(opts.Tenant, class, p.cost)
 		if err != nil {
@@ -587,6 +620,11 @@ func (s *Server) recordSweep(e *Entry, sv *serving, width int, lonePath bool) {
 	} else {
 		s.st.recordSweep(width, sv.matrixBytes, sv.sourceBytes, sv.destBytes)
 	}
+	if sv.ovBytes > 0 {
+		// The overlay stream is charged once per sweep, whatever the fused
+		// width — the scan runs once over the block, like the matrix stream.
+		s.st.overlayBytes.Add(sv.ovBytes)
+	}
 	e.work.record(width)
 }
 
@@ -611,7 +649,7 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 	// run another (the torn-generation class snapshotonce vets statically).
 	sv := e.cur.Load()
 	if sc := s.sched; sc != nil && sc.gate != nil && sv != nil {
-		bytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, len(reqs))
+		bytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, len(reqs)) + sv.ovBytes
 		sc.gate.Acquire(class, bytes, nil)
 		defer sc.gate.Release()
 	}
@@ -649,8 +687,11 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 	}
 	// Symmetric and wide entries always take the multi-RHS path below:
 	// their operator IS the deterministic kernel, and the path lets its
-	// internal tasks run under the pool's concurrency bounds.
-	if width == 1 && !s.cfg.Deterministic && !sv.sym && !sv.wide {
+	// internal tasks run under the pool's concurrency bounds. Entries with
+	// a live overlay do too — the overlay overwrite belongs to the fused
+	// path (runFused), and the lone path's tuned encoding would serve the
+	// unpatched base.
+	if width == 1 && !s.cfg.Deterministic && !sv.sym && !sv.wide && sv.ov == nil {
 		var y []float64
 		var err error
 		s.pool.RunSweep([]func(){func() { y, err = sv.op.Mul(reqs[0].x) }})
@@ -705,7 +746,7 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 	if o != nil {
 		interDone = time.Now()
 	}
-	if err := s.runFused(sv, mo, yBlock, xBlock); err != nil {
+	if err := s.runFused(sv, mo, yBlock, xBlock, width); err != nil {
 		fail(err)
 		return
 	}
@@ -713,7 +754,7 @@ func (s *Server) executeBatch(e *Entry, class sched.Class, reqs []*pending) {
 	if o != nil {
 		execDone = time.Now()
 		sv.roof.Record(execDone.Sub(interDone),
-			sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, width))
+			sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, width)+sv.ovBytes)
 	}
 	s.recordSweep(e, sv, width, false)
 	// Deinterleave with one sequential pass over the block.
@@ -764,10 +805,15 @@ func fusedView(sv *serving, width int) (*spmv.MultiOperator, error) {
 // through the worker pool: symmetric and tuned wide sweeps schedule their
 // internal task sets (the symmetric scatter escapes any row range; wide
 // kernels carry their own part decomposition), everything else fans out
-// over the snapshot's precomputed row shards. Both the batcher's fused
-// path and the solver sessions' per-iteration sweeps run through here, so
-// they share the same concurrency bounds and the same bits.
-func (s *Server) runFused(sv *serving, mo *spmv.MultiOperator, yBlock, xBlock []float64) error {
+// over the snapshot's precomputed row shards. width is the interleaved
+// block width, which the snapshot's delta overlay (if any) is applied at
+// after the base pass: each dirty row's slots are overwritten with the
+// row's canonical merged content, making the result bitwise equal to a
+// from-scratch rebuild on the deterministic CSR-family paths (see
+// kernel.OverlayRows). Both the batcher's fused path and the solver
+// sessions' per-iteration sweeps run through here, so they share the same
+// concurrency bounds and the same bits.
+func (s *Server) runFused(sv *serving, mo *spmv.MultiOperator, yBlock, xBlock []float64, width int) error {
 	var errMu sync.Mutex
 	var sweepErr error
 	if sv.sym || sv.wide {
@@ -789,6 +835,13 @@ func (s *Server) runFused(sv *serving, mo *spmv.MultiOperator, yBlock, xBlock []
 			}
 		}
 		s.pool.RunSweep(shards)
+	}
+	if sweepErr == nil && sv.ov != nil {
+		// Serial overwrite after the parallel base pass: dirty rows are a
+		// small fraction of the matrix by construction (recompaction folds
+		// the overlay before it grows past a threshold share of the base
+		// stream), and row independence means no ordering races to manage.
+		sweepErr = kernel.OverlayRows(yBlock, xBlock, width, sv.ov.Rows())
 	}
 	return sweepErr
 }

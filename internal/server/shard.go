@@ -353,6 +353,47 @@ func (c *Cluster) entry(id string) (*shardedEntry, error) {
 	return e, nil
 }
 
+// Unregister removes a sharded matrix from the coordinator and tears its
+// band registrations down on the members, returning how many member band
+// registrations it removed. The entry leaves the routing table first (new
+// requests see ErrUnknownMatrix), then each current-topology band is
+// unregistered on every replica, best-effort: member faults are collected
+// into one ErrMemberFault, but the matrix is gone from the coordinator
+// regardless — an unreachable member keeps a dangling band registration,
+// surfaced by the error so an operator can retry against it. Bands from
+// superseded topology generations are out of scope: their generation-
+// stamped subIDs are never routed to again.
+func (c *Cluster) Unregister(id string) (int, error) {
+	c.mu.Lock()
+	e, ok := c.byID[id]
+	if ok {
+		delete(c.byID, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w %q (sharded)", ErrUnknownMatrix, id)
+	}
+	t := e.topo.Load()
+	if t == nil {
+		return 0, nil
+	}
+	removed := 0
+	var faults []error
+	for _, b := range t.bands {
+		for _, m := range b.replicas {
+			if err := m.t.Unregister(b.subID); err != nil {
+				faults = append(faults, fmt.Errorf("member %s band %s: %w", m.name, b.subID, err))
+				continue
+			}
+			removed++
+		}
+	}
+	if len(faults) > 0 {
+		return removed, fmt.Errorf("%w: %d band teardown(s) failed (first: %v)", ErrMemberFault, len(faults), faults[0])
+	}
+	return removed, nil
+}
+
 // Info returns the sharded topology of one matrix.
 func (c *Cluster) Info(id string) (ShardedMatrixInfo, error) {
 	e, err := c.entry(id)

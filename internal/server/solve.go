@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	spmv "repro"
 	"repro/internal/sched"
 	"repro/internal/solve"
 	"repro/internal/traffic"
@@ -223,10 +224,42 @@ func finiteVec(v []float64) bool {
 
 // isSymmetricMatrix caches the numeric-symmetry answer: CG admission
 // requires the matrix itself to be symmetric, whatever storage family the
-// footprint comparison picked to serve it.
+// footprint comparison picked to serve it. The answer is a property of
+// the LOGICAL matrix — base plus any pending deltas — so the cache is
+// keyed by the delta log's seq: a patch can break (or create) symmetry,
+// and admission must judge the matrix the session will actually sweep.
+// With pending deltas the check folds the log into a scratch matrix;
+// recompaction resets the cache when it installs the folded base.
 func (e *Entry) isSymmetricMatrix() bool {
-	e.symCheckOnce.Do(func() { e.symIs = e.m.IsSymmetric() })
-	return e.symIs
+	// tuneMu pins (log, seq) against concurrent patches and recompactions;
+	// the check itself is O(nnz) — the same order as one sweep — and CG
+	// admission is rare, so holding the writer lock across it is fine.
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	l := e.log
+	var seq int
+	if l != nil {
+		seq = l.Seq()
+	}
+	e.symMu.Lock()
+	if e.symChecked && e.symSeq == seq {
+		is := e.symIs
+		e.symMu.Unlock()
+		return is
+	}
+	e.symMu.Unlock()
+	var is bool
+	if l == nil || seq == 0 {
+		is = e.m.IsSymmetric()
+	} else {
+		fm := spmv.NewMatrix(e.rows, e.cols)
+		l.Fold(func(i, j int32, v float64) { _ = fm.Set(int(i), int(j), v) })
+		is = fm.IsSymmetric()
+	}
+	e.symMu.Lock()
+	e.symChecked, e.symSeq, e.symIs = true, seq, is
+	e.symMu.Unlock()
+	return is
 }
 
 // SolveOpts is Solve with the session's admission identity passed as an
@@ -542,7 +575,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			// under the session's class — a bulk solve waits behind latency
 			// traffic (until aged), and the gate wait stays out of the sweep's
 			// roofline measurement.
-			sweepBytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1)
+			sweepBytes := sweepModeledBytes(sv.matrixBytes, sv.sourceBytes, sv.destBytes, 1) + sv.ovBytes
 			gated := false
 			if sc := s.sched; sc != nil && sc.gate != nil {
 				if !sc.gate.Acquire(ss.class, sweepBytes, ss.cancel) {
@@ -554,7 +587,7 @@ func (s *Server) runSolve(e *Entry, ss *solveSession, req SolveRequest, maxIters
 			if s.obs != nil {
 				t0 = time.Now()
 			}
-			err = s.runFused(sv, mo, y, x)
+			err = s.runFused(sv, mo, y, x, 1)
 			if gated {
 				s.sched.gate.Release()
 			}

@@ -28,10 +28,17 @@ type stats struct {
 	solveSessions atomic.Uint64 // solver sessions created
 	solveIters    atomic.Uint64 // solver iterations executed
 
-	matrixBytes atomic.Int64 // modeled matrix-stream DRAM bytes moved
-	sourceBytes atomic.Int64 // modeled source-vector DRAM bytes moved
-	destBytes   atomic.Int64 // modeled destination-vector DRAM bytes moved
-	savedBytes  atomic.Int64 // matrix-stream bytes avoided by fusion
+	patches       atomic.Uint64 // PATCH batches applied
+	deltasApplied atomic.Uint64 // individual delta ops applied
+	recompactions atomic.Uint64 // overlays folded into fresh bases
+	symDemotions  atomic.Uint64 // symmetric entries demoted to general at recompaction
+	deletes       atomic.Uint64 // matrices torn down by DELETE
+
+	matrixBytes  atomic.Int64 // modeled matrix-stream DRAM bytes moved
+	sourceBytes  atomic.Int64 // modeled source-vector DRAM bytes moved
+	destBytes    atomic.Int64 // modeled destination-vector DRAM bytes moved
+	savedBytes   atomic.Int64 // matrix-stream bytes avoided by fusion
+	overlayBytes atomic.Int64 // modeled overlay-stream DRAM bytes moved
 }
 
 // recordSweep accounts one executed sweep of the given fused width with
@@ -85,13 +92,24 @@ type Stats struct {
 	SolveSessions uint64
 	SolveIters    uint64
 
+	// Mutable-matrix lifecycle (see mutate.go): PATCH batches and the
+	// individual delta ops they carried, background recompactions (and the
+	// symmetric→general demotions they forced), and DELETE teardowns.
+	Patches       uint64
+	DeltasApplied uint64
+	Recompactions uint64
+	SymDemotions  uint64
+	Deletes       uint64
+
 	// Modeled DRAM traffic (internal/traffic) actually moved by the
 	// executed sweeps, and the matrix-stream bytes fusion avoided versus
-	// running every request as its own sweep.
-	MatrixBytes int64
-	SourceBytes int64
-	DestBytes   int64
-	SavedBytes  int64
+	// running every request as its own sweep. OverlayBytes is the extra
+	// overlay-stream traffic patched matrices paid on top of MatrixBytes.
+	MatrixBytes  int64
+	SourceBytes  int64
+	DestBytes    int64
+	SavedBytes   int64
+	OverlayBytes int64
 }
 
 // TotalBytes returns the modeled DRAM bytes moved.
@@ -120,10 +138,16 @@ func (s *stats) snapshot() Stats {
 		RetuneRejections: s.retuneRejections.Load(),
 		SolveSessions:    s.solveSessions.Load(),
 		SolveIters:       s.solveIters.Load(),
+		Patches:          s.patches.Load(),
+		DeltasApplied:    s.deltasApplied.Load(),
+		Recompactions:    s.recompactions.Load(),
+		SymDemotions:     s.symDemotions.Load(),
+		Deletes:          s.deletes.Load(),
 		MatrixBytes:      s.matrixBytes.Load(),
 		SourceBytes:      s.sourceBytes.Load(),
 		DestBytes:        s.destBytes.Load(),
 		SavedBytes:       s.savedBytes.Load(),
+		OverlayBytes:     s.overlayBytes.Load(),
 	}
 	for i := range s.widthHist {
 		out.FusedWidthHist[i] = s.widthHist[i].Load()

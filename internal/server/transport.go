@@ -29,6 +29,10 @@ type Transport interface {
 	Register(id, name string, m *spmv.Matrix) (MatrixInfo, error)
 	// Mul computes y = A·x against a previously registered band.
 	Mul(id string, x []float64) ([]float64, error)
+	// Unregister tears down a previously registered band on the member,
+	// releasing its operator caches. Unknown ids are an error (the
+	// coordinator treats it as best-effort cleanup).
+	Unregister(id string) error
 	// Stats snapshots the member's serving counters for the cluster rollup.
 	Stats() (Stats, error)
 }
@@ -60,6 +64,12 @@ func (t *LocalTransport) Register(id, name string, m *spmv.Matrix) (MatrixInfo, 
 // Mul multiplies against the member's band.
 func (t *LocalTransport) Mul(id string, x []float64) ([]float64, error) {
 	return t.s.Mul(id, x)
+}
+
+// Unregister tears down the member's band.
+func (t *LocalTransport) Unregister(id string) error {
+	_, err := t.s.DeleteMatrix(id)
+	return err
 }
 
 // Stats snapshots the member's counters.
@@ -142,6 +152,31 @@ func (t *HTTPTransport) Mul(id string, x []float64) ([]float64, error) {
 		return nil, err
 	}
 	return resp.Y, nil
+}
+
+// Unregister deletes the band on the remote member.
+func (t *HTTPTransport) Unregister(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, t.base+"/v1/matrices/"+id, nil)
+	if err != nil {
+		return err
+	}
+	r, err := t.c.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: member %s: %w", t.base, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		detail := fmt.Sprintf("status %d", r.StatusCode)
+		var e errorResponse
+		if json.NewDecoder(r.Body).Decode(&e) == nil && e.Error.Message != "" {
+			detail = e.Error.Message
+		}
+		if r.StatusCode == http.StatusNotFound {
+			return fmt.Errorf("%w: member %s: %s", ErrUnknownMatrix, t.base, detail)
+		}
+		return fmt.Errorf("server: member %s: %s", t.base, detail)
+	}
+	return nil
 }
 
 // Stats fetches the member's counter snapshot.

@@ -1,0 +1,29 @@
+package traffic
+
+// OverlaySweepBytes models the extra DRAM traffic a delta overlay adds to
+// every sweep: the overlay scan streams each dirty row's header (row index
+// plus extent, one 16-byte descriptor) and its merged entries (8-byte
+// value + 4-byte column index, CSR32-equivalent). The destination slots it
+// overwrites were already charged by the base pass, and the source-vector
+// gather largely re-touches lines the base pass pulled in, so the stream
+// itself is the modeled marginal cost — the same compulsory-traffic
+// accounting the matrix stream uses.
+func OverlaySweepBytes(dirtyRows int, entries int64) int64 {
+	if dirtyRows <= 0 {
+		return 0
+	}
+	return int64(dirtyRows)*16 + entries*12
+}
+
+// ShouldRecompact reports whether the overlay's per-sweep stream has grown
+// past threshold (a fraction, e.g. 0.10) of the base operator's matrix
+// stream. Past that point every sweep pays more than threshold extra
+// bandwidth over a freshly compiled operator, so folding the deltas into
+// the base amortizes after ~1/threshold sweeps of the recompaction's one
+// compile. threshold <= 0 disables recompaction.
+func ShouldRecompact(overlayBytes, matrixBytes int64, threshold float64) bool {
+	if threshold <= 0 || matrixBytes <= 0 {
+		return false
+	}
+	return float64(overlayBytes) >= threshold*float64(matrixBytes)
+}

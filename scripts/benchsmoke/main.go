@@ -20,6 +20,11 @@
 //     (SymCSR) storage vs its general-CSR twin — the modeled matrix-stream
 //     ratio (deterministic, gated at ≈0.5) with numerical agreement
 //     enforced as a hard failure.
+//   - mutation: the batched serving workload against a clean LP twin vs
+//     the same twin carrying a live ~1.5%-dirty-row delta overlay
+//     (recompaction held off) — the throughput ratio is gated against a
+//     committed floor, with bitwise parity against a from-scratch rebuild
+//     enforced as a hard failure.
 //   - observability: the batched serving workload with the default
 //     instrumentation (histograms + 1-in-16 trace sampling) vs ObsSample=0
 //     (layer off, no hot-path timestamps) — the throughput ratio is gated
@@ -49,6 +54,7 @@ import (
 
 	spmv "repro"
 	"repro/internal/machine"
+	"repro/internal/matrix/delta"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/traffic"
@@ -193,6 +199,120 @@ func obsOverheadMetrics(metrics map[string]Metric) {
 	metrics["serve_obs_off_req_s"] = Metric{Value: o, Unit: "req/s"}
 	metrics["serve_obs_on_req_s"] = Metric{Value: i, Unit: "req/s"}
 	metrics["obs_overhead_ratio"] = Metric{Value: i / o, Unit: "x", HigherBetter: true}
+}
+
+// overlayOverheadMetrics measures what a live delta overlay costs the
+// serving hot path: the same batched closed-loop LP workload once clean
+// and once carrying a ~1.5%-dirty-row overlay with recompaction disabled
+// (the worst steady state a mutated matrix is allowed to serve from —
+// past the default threshold the background recompactor folds the log).
+// Bitwise parity between the overlay path and a from-scratch rebuild is
+// enforced as a hard failure; the throughput ratio is emitted ungated —
+// bench_baseline.json gates it against a hand-set conservative floor.
+func overlayOverheadMetrics(metrics map[string]Metric) {
+	m, err := spmv.GenerateSuite("LP", 0.05, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, cols := m.Dims()
+	rng := rand.New(rand.NewSource(17))
+	n := rows / 64
+	if n < 16 {
+		n = 16
+	}
+	deltas := make([]server.Delta, n)
+	ops := make([]delta.Op, n)
+	for i := range deltas {
+		r, c, v := int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat64()
+		deltas[i] = server.Delta{Op: "set", Row: r, Col: c, Val: v}
+		ops[i] = delta.Op{Kind: delta.Set, Row: r, Col: c, Val: v}
+	}
+
+	// From-scratch rebuild for the parity check.
+	l := delta.NewLog(rows, cols, func(yield func(i, j int32, v float64)) {
+		m.Entries(func(i, j int, v float64) { yield(int32(i), int32(j), v) })
+	})
+	if err := l.Apply(ops); err != nil {
+		log.Fatal(err)
+	}
+	folded := spmv.NewMatrix(rows, cols)
+	l.Fold(func(i, j int32, v float64) { _ = folded.Set(int(i), int(j), v) })
+
+	newServer := func(withOverlay bool) *server.Server {
+		cfg := server.DefaultConfig()
+		cfg.Adaptive = false
+		cfg.RecompactThreshold = -1 // hold the overlay live for the whole run
+		s := server.New(cfg)
+		if _, err := s.Register("m", "LP", m); err != nil {
+			log.Fatal(err)
+		}
+		if withOverlay {
+			if _, err := s.Client().Patch("m", deltas); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	x := randVec(cols, 19)
+	patched := newServer(true)
+	got, err := patched.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rebuild := newServer(false)
+	if _, err := rebuild.DeleteMatrix("m"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rebuild.Register("m", "LP", folded); err != nil {
+		log.Fatal(err)
+	}
+	want, err := rebuild.Mul("m", x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rebuild.Close()
+	patched.Close()
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("benchsmoke: overlay serving diverged from the rebuilt matrix at y[%d]", i)
+		}
+	}
+
+	loop := func(s *server.Server) float64 {
+		defer s.Close()
+		const clients, requests = 8, 50
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				x := randVec(cols, int64(g))
+				for i := 0; i < requests; i++ {
+					if _, err := s.Mul("m", x); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return float64(clients*requests) / time.Since(t0).Seconds()
+	}
+	best := func(withOverlay bool) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			if v := loop(newServer(withOverlay)); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	clean := best(false)
+	overlaid := best(true)
+	metrics["serve_overlay_off_req_s"] = Metric{Value: clean, Unit: "req/s"}
+	metrics["serve_overlay_on_req_s"] = Metric{Value: overlaid, Unit: "req/s"}
+	metrics["overlay_overhead_ratio"] = Metric{Value: overlaid / clean, Unit: "x", HigherBetter: true}
 }
 
 // schedOverheadMetrics measures what the admission/scheduling layer
@@ -428,6 +548,7 @@ func main() {
 	symmetricMetrics(metrics)
 	obsOverheadMetrics(metrics)
 	schedOverheadMetrics(metrics)
+	overlayOverheadMetrics(metrics)
 
 	r := Report{
 		Schema:  1,
